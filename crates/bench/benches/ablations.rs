@@ -1,0 +1,125 @@
+//! Ablation benches A1–A4: the §3.1–§3.2 design decisions, measured.
+
+use bp_bench::fixtures;
+use bp_core::CaptureConfig;
+use bp_graph::{EdgeKind, NodeKind};
+use bp_query::{time_contextual_search, TimeContextConfig};
+use bp_storage::{defactorize, factorize};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BENCH_DAYS: u32 = 7;
+
+/// A1 — link queries: flat per-traversal table scan (Firefox-like) vs the
+/// versioned graph's key-indexed adjacency walk.
+fn bench_a1_link_queries(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let (_profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "a1");
+    let graph = browser.graph();
+
+    let mut traversal_table: Vec<(String, String)> = Vec::new();
+    for (_, e) in graph.edges() {
+        if e.kind() == EdgeKind::Link {
+            if let (Ok(src), Ok(dst)) = (graph.node(e.src()), graph.node(e.dst())) {
+                traversal_table.push((src.key().to_owned(), dst.key().to_owned()));
+            }
+        }
+    }
+    let mut counts: std::collections::HashMap<(String, String), usize> =
+        std::collections::HashMap::new();
+    for (a, b) in &traversal_table {
+        *counts.entry((a.clone(), b.clone())).or_insert(0) += 1;
+    }
+    let ((qa, qb), _) = counts
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .expect("link traversals exist");
+
+    let mut group = c.benchmark_group("a1_link_query");
+    group.bench_function("flat_table_scan", |b| {
+        b.iter(|| {
+            traversal_table
+                .iter()
+                .filter(|(a, bb)| *a == qa && *bb == qb)
+                .count()
+        })
+    });
+    let keys = browser.store().keys();
+    group.bench_function("versioned_graph_walk", |b| {
+        b.iter(|| {
+            keys.get(&qa)
+                .iter()
+                .flat_map(|&v| graph.parents(v))
+                .filter(|(eid, dst)| {
+                    graph.edge(*eid).unwrap().kind() == EdgeKind::Link
+                        && graph.node(*dst).is_ok_and(|n| n.key() == qb)
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+/// A2 — factorization encode/decode at history scale.
+fn bench_a2_factorization(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let (_profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "a2");
+    let graph = browser.graph();
+    let mut group = c.benchmark_group("a2_factorization");
+    group.bench_function("factorize", |b| b.iter(|| factorize(graph)));
+    let fact = factorize(graph);
+    group.bench_function("defactorize", |b| b.iter(|| defactorize(&fact).unwrap()));
+    group.finish();
+}
+
+/// A3 — time-contextual query cost with the interval index vs a full
+/// node scan.
+fn bench_a3_interval_index(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let (_profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "a3");
+    let graph = browser.graph();
+    // Pick an existing visit's interval as the probe.
+    let probe = graph
+        .nodes_of_kind(NodeKind::PageVisit)
+        .nth(50)
+        .map(|n| *graph.node(n).unwrap().interval())
+        .expect("history has visits");
+
+    let mut group = c.benchmark_group("a3_interval_overlap");
+    group.bench_function("time_index", |b| {
+        b.iter(|| browser.store().times().overlapping(&probe).len())
+    });
+    group.bench_function("full_scan", |b| {
+        b.iter(|| {
+            graph
+                .nodes()
+                .filter(|(_, n)| n.interval().overlaps(&probe))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+/// A4 — the §2.3 query under the two capture configurations (capability
+/// ablation measured as work done).
+fn bench_a4_capture_configs(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let mut group = c.benchmark_group("a4_time_query_by_capture");
+    for (name, config) in [
+        ("provenance_aware", CaptureConfig::default()),
+        ("firefox_like", CaptureConfig::firefox_like()),
+    ] {
+        let (_profile, browser) = fixtures::ingest(&history, config, &format!("a4-{name}"));
+        let time_config = TimeContextConfig::default();
+        group.bench_function(name, |b| {
+            b.iter(|| time_contextual_search(&browser, "news", "software", &time_config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_a1_link_queries, bench_a2_factorization, bench_a3_interval_index, bench_a4_capture_configs
+);
+criterion_main!(benches);

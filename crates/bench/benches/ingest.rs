@@ -1,0 +1,59 @@
+//! E3 benches: capture throughput — events/second through the full
+//! capture path (graph + indexes + WAL), with and without the §3.2
+//! second-class relationships.
+
+use bp_bench::fixtures;
+use bp_core::CaptureConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_capture_throughput(c: &mut Criterion) {
+    let history = fixtures::history(7);
+    let events = &history.events;
+    let mut group = c.benchmark_group("capture_throughput");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+
+    for (name, config) in [
+        ("provenance_aware", CaptureConfig::default()),
+        ("firefox_like", CaptureConfig::firefox_like()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter_batched(
+                || fixtures::TempProfile::new("bench-ingest"),
+                |profile| {
+                    let mut browser =
+                        bp_core::ProvenanceBrowser::open(profile.path(), config.clone()).unwrap();
+                    browser.ingest_all(events).unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_text_indexing(c: &mut Criterion) {
+    let history = fixtures::history(7);
+    let urls: Vec<String> = history
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            bp_core::EventKind::Navigate { url, title, .. } => {
+                Some(format!("{url} {}", title.as_deref().unwrap_or("")))
+            }
+            _ => None,
+        })
+        .collect();
+    c.bench_function("inverted_index_build", |b| {
+        b.iter(|| {
+            let mut index = bp_text::InvertedIndex::new();
+            for (i, text) in urls.iter().enumerate() {
+                index.add_document(i as u32, text);
+            }
+            index.doc_count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_capture_throughput, bench_text_indexing);
+criterion_main!(benches);

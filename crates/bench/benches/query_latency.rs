@@ -1,0 +1,120 @@
+//! E2 benches: latency of the four §2 use-case queries at history scale.
+//!
+//! The paper's claim: "these queries complete in less than 200 ms in the
+//! majority of cases and can be bound to that time in the remaining
+//! cases" (§4). Criterion reports the distribution; the paper-vs-measured
+//! comparison lives in EXPERIMENTS.md.
+
+use bp_bench::fixtures;
+use bp_core::CaptureConfig;
+use bp_graph::traverse::Budget;
+use bp_graph::NodeKind;
+use bp_query::{
+    contextual_history_search, first_recognizable_ancestor, personalize_query,
+    textual_history_search, time_contextual_search, ContextualConfig, LineageConfig,
+    PersonalizeConfig, TimeContextConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Scaled-down history for bench runtime sanity; the report binary runs
+/// the full 79 days.
+const BENCH_DAYS: u32 = 14;
+
+fn bench_queries(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let (_profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "bench-query");
+    let nodes = browser.graph().node_count();
+
+    let mut group = c.benchmark_group("query_latency");
+
+    let contextual_config = ContextualConfig::default();
+    group.bench_with_input(
+        BenchmarkId::new("contextual_search", nodes),
+        &browser,
+        |b, browser| {
+            b.iter(|| contextual_history_search(browser, "news report market", &contextual_config))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("textual_search_baseline", nodes),
+        &browser,
+        |b, browser| {
+            b.iter(|| textual_history_search(browser, "news report market", &contextual_config))
+        },
+    );
+
+    let personalize_config = PersonalizeConfig::default();
+    group.bench_with_input(
+        BenchmarkId::new("personalize", nodes),
+        &browser,
+        |b, browser| b.iter(|| personalize_query(browser, "report", &personalize_config)),
+    );
+
+    let time_config = TimeContextConfig::default();
+    group.bench_with_input(
+        BenchmarkId::new("time_contextual", nodes),
+        &browser,
+        |b, browser| b.iter(|| time_contextual_search(browser, "news", "software", &time_config)),
+    );
+
+    let download = browser
+        .graph()
+        .nodes_of_kind(NodeKind::Download)
+        .next()
+        .expect("history contains downloads");
+    let lineage_config = LineageConfig {
+        recognizable_visits: 2,
+        ..LineageConfig::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("download_lineage", nodes),
+        &browser,
+        |b, browser| b.iter(|| first_recognizable_ancestor(browser, download, &lineage_config)),
+    );
+
+    // The bounded variant (the paper's "can be bound to that time").
+    let bounded = ContextualConfig {
+        budget: Budget::new().with_deadline(std::time::Duration::from_millis(200)),
+        max_results: 1000,
+        ..ContextualConfig::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("contextual_bounded_200ms", nodes),
+        &browser,
+        |b, browser| {
+            b.iter(|| {
+                contextual_history_search(browser, "news game wine travel software", &bounded)
+            })
+        },
+    );
+
+    group.finish();
+}
+
+fn bench_query_language(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let (_profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "bench-ql");
+    let download = browser
+        .graph()
+        .nodes_of_kind(NodeKind::Download)
+        .next()
+        .expect("history contains downloads");
+    let query = format!(
+        "ancestors(#{}) where type = visit and visits >= 2 limit 1",
+        download.index()
+    );
+
+    c.bench_function("ql_parse_and_execute", |b| {
+        b.iter(|| bp_query::ql::run(&browser, &query, &Budget::new()).unwrap())
+    });
+    c.bench_function("ql_parse_only", |b| {
+        b.iter(|| bp_query::ql::parse(&query).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries, bench_query_language
+);
+criterion_main!(benches);

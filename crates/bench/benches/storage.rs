@@ -1,0 +1,82 @@
+//! E1 benches: storage-layer costs — serialization of the two schemas,
+//! snapshot compaction, and WAL append throughput.
+
+use bp_bench::{fixtures, relschema::RelationalProvenance};
+use bp_core::CaptureConfig;
+use bp_places::{PlacesDb, PlacesIngester};
+use bp_storage::{SyncPolicy, Wal};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BENCH_DAYS: u32 = 7;
+
+fn bench_schema_sizes(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let (_profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "bench-schema");
+
+    let mut group = c.benchmark_group("schema_serialization");
+    group.bench_function("places_ingest_and_size", |b| {
+        b.iter(|| {
+            let mut db = PlacesDb::new();
+            let mut ingester = PlacesIngester::new();
+            ingester.ingest_all(&mut db, &history.events).unwrap();
+            db.encoded_size()
+        })
+    });
+    group.bench_function("relational_provenance_materialize", |b| {
+        b.iter(|| RelationalProvenance::from_graph(browser.graph()).encoded_size())
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    c.bench_function("snapshot_compaction", |b| {
+        b.iter_batched(
+            || fixtures::ingest(&history, CaptureConfig::default(), "bench-snap"),
+            |(_profile, mut browser)| {
+                browser.snapshot().unwrap();
+                browser.size_report().snapshot_bytes
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    for payload_size in [64usize, 512, 4096] {
+        let payload = vec![0xabu8; payload_size];
+        group.throughput(Throughput::Bytes(payload_size as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(payload_size),
+            &payload,
+            |b, payload| {
+                let profile = fixtures::TempProfile::new("bench-wal");
+                std::fs::create_dir_all(profile.path()).unwrap();
+                let mut wal =
+                    Wal::open(profile.path().join("bench.wal"), SyncPolicy::OsManaged).unwrap();
+                b.iter(|| wal.append(payload).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let history = fixtures::history(BENCH_DAYS);
+    let (profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "bench-recover");
+    let nodes = browser.graph().node_count();
+    drop(browser);
+    c.bench_function(&format!("recovery_replay_{nodes}_nodes"), |b| {
+        b.iter(|| {
+            bp_core::ProvenanceBrowser::open(profile.path(), CaptureConfig::default()).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schema_sizes, bench_snapshot, bench_wal_append, bench_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Ad-hoc phase timing for the ingest path (developer tool).
+
+use bp_bench::fixtures;
+use bp_core::{CaptureConfig, CaptureEngine};
+use bp_storage::{ProvenanceStore, SyncPolicy};
+use std::time::Instant;
+
+fn main() {
+    let days: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let t0 = Instant::now();
+    let history = fixtures::history(days);
+    println!(
+        "generate {} events: {:?}",
+        history.events.len(),
+        t0.elapsed()
+    );
+
+    // Phase 1: capture engine only (graph + storage, no text index).
+    let profile = fixtures::TempProfile::new("profile-engine");
+    let store = ProvenanceStore::open(profile.path(), SyncPolicy::OsManaged).unwrap();
+    let mut engine = CaptureEngine::new(store, CaptureConfig::default());
+    let t0 = Instant::now();
+    for event in &history.events {
+        engine.handle(event).unwrap();
+    }
+    println!("capture engine only: {:?}", t0.elapsed());
+    let store = engine.into_store();
+    println!(
+        "  nodes={} edges={}",
+        store.graph().node_count(),
+        store.graph().edge_count()
+    );
+    drop(store);
+
+    // Phase 2: full browser (adds text indexing).
+    let profile2 = fixtures::TempProfile::new("profile-browser");
+    let t0 = Instant::now();
+    let mut browser =
+        bp_core::ProvenanceBrowser::open(profile2.path(), CaptureConfig::default()).unwrap();
+    browser.ingest_all(&history.events).unwrap();
+    println!("full browser ingest: {:?}", t0.elapsed());
+
+    // Phase 3: recovery replay.
+    drop(browser);
+    let t0 = Instant::now();
+    let _b = bp_core::ProvenanceBrowser::open(profile2.path(), CaptureConfig::default()).unwrap();
+    println!("recovery replay: {:?}", t0.elapsed());
+    component_timing(days);
+    find_nonmonotone(days);
+    edge_mix(days);
+}
+
+#[allow(dead_code)]
+fn component_timing(days: u32) {
+    let history = fixtures::history(days);
+    let profile = fixtures::TempProfile::new("profile-components");
+    let mut browser =
+        bp_core::ProvenanceBrowser::open(profile.path(), CaptureConfig::default()).unwrap();
+    browser.ingest_all(&history.events).unwrap();
+    let g = browser.graph();
+    println!("monotone: {}", g.is_monotone());
+
+    // Graph rebuild.
+    let t0 = Instant::now();
+    let mut g2 = bp_graph::ProvenanceGraph::new();
+    for (_, n) in g.nodes() {
+        g2.add_node(n.clone());
+    }
+    for (_, e) in g.edges() {
+        g2.add_edge(e.src(), e.dst(), e.kind(), e.at()).unwrap();
+    }
+    println!("graph rebuild: {:?}", t0.elapsed());
+
+    // KeyIndex rebuild.
+    let t0 = Instant::now();
+    let mut keys = bp_storage::KeyIndex::new();
+    for (id, n) in g.nodes() {
+        keys.insert(n.key(), id);
+    }
+    println!("key index rebuild: {:?}", t0.elapsed());
+
+    // TimeIndex rebuild.
+    let t0 = Instant::now();
+    let mut times = bp_storage::TimeIndex::new();
+    for (id, n) in g.nodes() {
+        times.insert(id, *n.interval());
+    }
+    println!("time index rebuild: {:?}", t0.elapsed());
+
+    // Close replay against the time index (the capture path closes most
+    // nodes once).
+    let t0 = Instant::now();
+    for (id, n) in g.nodes() {
+        if let Some(c) = n.interval().close() {
+            times.close(id, c);
+        }
+    }
+    println!("time index closes: {:?}", t0.elapsed());
+}
+
+#[allow(dead_code)]
+fn find_nonmonotone(days: u32) {
+    let history = fixtures::history(days.min(5));
+    let profile = fixtures::TempProfile::new("profile-nonmono");
+    let mut browser =
+        bp_core::ProvenanceBrowser::open(profile.path(), CaptureConfig::default()).unwrap();
+    browser.ingest_all(&history.events).unwrap();
+    let g = browser.graph();
+    for (_, e) in g.edges() {
+        if e.src() < e.dst() {
+            let src = g.node(e.src()).unwrap();
+            let dst = g.node(e.dst()).unwrap();
+            println!(
+                "LOW->HIGH {} : {} {} -> {} {}",
+                e.kind(),
+                e.src(),
+                src.key(),
+                e.dst(),
+                dst.key()
+            );
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn edge_mix(days: u32) {
+    let history = fixtures::history(days);
+    let profile = fixtures::TempProfile::new("profile-mix");
+    let mut browser =
+        bp_core::ProvenanceBrowser::open(profile.path(), CaptureConfig::default()).unwrap();
+    browser.ingest_all(&history.events).unwrap();
+    let s = bp_graph::stats::stats(browser.graph());
+    for (kind, count) in &s.edges_by_kind {
+        println!("edge {kind}: {count}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared experiment fixtures: paper-scale histories and ingested stores.
+
+use bp_core::{BrowserEvent, CaptureConfig, ProvenanceBrowser};
+use bp_sim::calibrate;
+use bp_sim::web::SyntheticWeb;
+use std::path::PathBuf;
+
+/// A temporary profile directory removed on drop.
+#[derive(Debug)]
+pub struct TempProfile {
+    path: PathBuf,
+}
+
+impl TempProfile {
+    /// Creates a unique empty directory under the system temp dir.
+    pub fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "bp-bench-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        TempProfile { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+}
+
+impl Drop for TempProfile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// The standard experiment seed (all tables/figures regenerate from it).
+pub const SEED: u64 = 42;
+
+/// A generated history: web + events.
+#[derive(Debug)]
+pub struct History {
+    /// The synthetic web the user browsed.
+    pub web: SyntheticWeb,
+    /// The event stream.
+    pub events: Vec<BrowserEvent>,
+    /// Days simulated.
+    pub days: u32,
+}
+
+/// Generates the paper-scale (or scaled-down) history.
+pub fn history(days: u32) -> History {
+    let web = calibrate::paper_web(SEED);
+    let events = calibrate::days_history(&web, SEED, days);
+    History { web, events, days }
+}
+
+/// Ingests a history into a fresh provenance-aware browser.
+pub fn ingest(
+    history: &History,
+    config: CaptureConfig,
+    tag: &str,
+) -> (TempProfile, ProvenanceBrowser) {
+    let profile = TempProfile::new(tag);
+    let mut browser = ProvenanceBrowser::open(profile.path(), config).expect("fresh profile opens");
+    browser
+        .ingest_all(&history.events)
+        .expect("simulated events are valid");
+    (profile, browser)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_ingest() {
+        let h = history(1);
+        assert!(!h.events.is_empty());
+        let (_p, browser) = ingest(&h, CaptureConfig::default(), "fixture-test");
+        assert!(browser.graph().node_count() > 0);
+    }
+}

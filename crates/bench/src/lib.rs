@@ -1,0 +1,13 @@
+//! # bp-bench — experiment harness
+//!
+//! Regenerates every quantitative claim in the paper's evaluation (§4) and
+//! the DESIGN.md ablations. The `report` binary prints the tables recorded
+//! in EXPERIMENTS.md; the Criterion benches under `benches/` measure the
+//! hot paths (ingest, queries, recovery, factorization).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fixtures;
+pub mod relschema;

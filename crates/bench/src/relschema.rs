@@ -1,0 +1,245 @@
+//! The paper-faithful relational provenance schema.
+//!
+//! The paper's prototype "implemented a model browser provenance schema
+//! based on the Firefox Places schema as a SQLite relational database"
+//! (§4) — provenance objects stored as relational *rows*. E1 measures the
+//! 39.5%-overhead claim against **this** representation, so the comparison
+//! matches what the authors actually built; the optimized `bp-storage`
+//! figure is reported alongside as this repo's engineering improvement.
+//!
+//! Being "based on the Places schema", the relational rendering inherits
+//! Places' normalizations:
+//!
+//! - strings (URLs, queries, paths, attribute text) live once in
+//!   `prov_strings` and rows reference them by id — exactly how
+//!   `moz_historyvisits` references `moz_places` instead of repeating the
+//!   URL per visit;
+//! - the *instance-of* and *version-of* relationships are foreign-key
+//!   columns on the node row (like `moz_historyvisits.place_id` and
+//!   `from_visit`), not edge rows; only event relationships (links,
+//!   searches, overlap, downloads, …) occupy the edge table.
+
+use bp_graph::{EdgeKind, ProvenanceGraph};
+use bp_places::{Column, RowId, Table, Value};
+use std::collections::HashMap;
+
+/// Relational rendering of a provenance graph.
+#[derive(Debug)]
+pub struct RelationalProvenance {
+    strings: Table,
+    nodes: Table,
+    edges: Table,
+    attrs: Table,
+}
+
+impl RelationalProvenance {
+    /// Materializes `graph` into relational tables.
+    pub fn from_graph(graph: &ProvenanceGraph) -> Self {
+        let mut strings = Table::new("prov_strings", vec![Column::unique("text")]);
+        let mut string_ids: HashMap<String, RowId> = HashMap::new();
+        let mut intern = |strings: &mut Table, s: &str| -> RowId {
+            if let Some(&id) = string_ids.get(s) {
+                return id;
+            }
+            let id = strings
+                .insert(vec![s.into()])
+                .expect("string uniqueness handled by the map");
+            string_ids.insert(s.to_owned(), id);
+            id
+        };
+
+        let mut nodes = Table::new(
+            "prov_nodes",
+            vec![
+                Column::plain("kind"),
+                Column::indexed("key_id"),
+                Column::plain("version"),
+                Column::indexed("open_date"),
+                Column::plain("close_date"),
+                // Foreign keys folding the bookkeeping relationships into
+                // the row, Places-style.
+                Column::plain("page_row"),
+                Column::plain("prev_version_row"),
+            ],
+        );
+        let mut edges = Table::new(
+            "prov_edges",
+            vec![
+                Column::indexed("src"),
+                Column::indexed("dst"),
+                Column::plain("kind"),
+                Column::plain("event_date"),
+            ],
+        );
+        let mut attrs = Table::new(
+            "prov_attrs",
+            vec![
+                Column::indexed("node"),
+                Column::plain("name_id"),
+                Column::plain("value"),
+            ],
+        );
+
+        for (id, node) in graph.nodes() {
+            let key_id = intern(&mut strings, node.key());
+            // Fold instance_of / version_of into columns.
+            let mut page_row = 0i64;
+            let mut prev_row = 0i64;
+            for (eid, parent) in graph.parents(id) {
+                match graph.edge(eid).expect("live edge").kind() {
+                    EdgeKind::InstanceOf => page_row = i64::from(parent.index()) + 1,
+                    EdgeKind::VersionOf => prev_row = i64::from(parent.index()) + 1,
+                    _ => {}
+                }
+            }
+            nodes
+                .insert(vec![
+                    Value::Int(i64::from(node.kind().code())),
+                    Value::Int(key_id),
+                    Value::Int(i64::from(node.version().number())),
+                    Value::Int(node.opened_at().as_micros()),
+                    node.interval()
+                        .close()
+                        .map_or(Value::Null, |c| Value::Int(c.as_micros())),
+                    if page_row == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(page_row)
+                    },
+                    if prev_row == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(prev_row)
+                    },
+                ])
+                .expect("schema arity is fixed");
+            for (name, value) in node.attrs().iter() {
+                let name_id = intern(&mut strings, name);
+                let value = match value {
+                    bp_graph::AttrValue::Str(s) => Value::Int(intern(&mut strings, s)),
+                    other => Value::Text(other.to_string()),
+                };
+                attrs
+                    .insert(vec![
+                        Value::Int(i64::from(id.index())),
+                        Value::Int(name_id),
+                        value,
+                    ])
+                    .expect("schema arity is fixed");
+            }
+        }
+        for (_, edge) in graph.edges() {
+            if matches!(edge.kind(), EdgeKind::InstanceOf | EdgeKind::VersionOf) {
+                continue; // folded into node columns above
+            }
+            edges
+                .insert(vec![
+                    Value::Int(i64::from(edge.src().index())),
+                    Value::Int(i64::from(edge.dst().index())),
+                    Value::Int(i64::from(edge.kind().code())),
+                    Value::Int(edge.at().as_micros()),
+                ])
+                .expect("schema arity is fixed");
+        }
+        RelationalProvenance {
+            strings,
+            nodes,
+            edges,
+            attrs,
+        }
+    }
+
+    /// Serialized size of the relational provenance schema.
+    pub fn encoded_size(&self) -> usize {
+        self.strings.encoded_size()
+            + self.nodes.encoded_size()
+            + self.edges.encoded_size()
+            + self.attrs.encoded_size()
+    }
+
+    /// Row counts (strings, nodes, edges, attrs).
+    pub fn row_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.strings.len(),
+            self.nodes.len(),
+            self.edges.len(),
+            self.attrs.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_graph::{Node, NodeKind, Timestamp};
+
+    #[test]
+    fn materializes_all_objects_with_string_normalization() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.add_node(
+            Node::new(NodeKind::PageVisit, "http://a/", Timestamp::from_secs(1))
+                .with_attr("title", "A"),
+        );
+        let b = g.add_node(Node::new(NodeKind::Download, "/f", Timestamp::from_secs(2)));
+        g.add_edge(b, a, EdgeKind::DownloadFrom, Timestamp::from_secs(2))
+            .unwrap();
+        let rel = RelationalProvenance::from_graph(&g);
+        // strings: "http://a/", "title", "A", "/f"
+        assert_eq!(rel.row_counts(), (4, 2, 1, 1));
+        assert!(rel.encoded_size() > 0);
+    }
+
+    #[test]
+    fn repeated_urls_stored_once() {
+        let mut g = ProvenanceGraph::new();
+        for i in 0..10 {
+            g.add_version(NodeKind::PageVisit, "http://same/", Timestamp::from_secs(i));
+        }
+        let rel = RelationalProvenance::from_graph(&g);
+        let (strings, nodes, edges, _) = rel.row_counts();
+        assert_eq!(strings, 1, "one row for the shared URL");
+        assert_eq!(nodes, 10);
+        assert_eq!(edges, 0, "version_of edges folded into columns");
+    }
+
+    #[test]
+    fn bookkeeping_edges_become_columns() {
+        let mut g = ProvenanceGraph::new();
+        let page = g.add_node(Node::new(NodeKind::Page, "u", Timestamp::from_secs(0)));
+        let v0 = g.add_version(NodeKind::PageVisit, "u", Timestamp::from_secs(1));
+        g.add_edge(v0, page, EdgeKind::InstanceOf, Timestamp::from_secs(1))
+            .unwrap();
+        let v1 = g.add_version(NodeKind::PageVisit, "u", Timestamp::from_secs(2));
+        g.add_edge(v1, page, EdgeKind::InstanceOf, Timestamp::from_secs(2))
+            .unwrap();
+        g.add_edge(v1, v0, EdgeKind::Link, Timestamp::from_secs(2))
+            .unwrap();
+        let rel = RelationalProvenance::from_graph(&g);
+        let (_, nodes, edges, _) = rel.row_counts();
+        assert_eq!(nodes, 3);
+        assert_eq!(edges, 1, "only the Link edge remains a row");
+    }
+
+    #[test]
+    fn size_scales_with_graph() {
+        let mut g = ProvenanceGraph::new();
+        let mut prev = None;
+        for i in 0..100 {
+            let v = g.add_node(Node::new(
+                NodeKind::PageVisit,
+                format!("http://p{i}/"),
+                Timestamp::from_secs(i),
+            ));
+            if let Some(p) = prev {
+                g.add_edge(v, p, EdgeKind::Link, Timestamp::from_secs(i))
+                    .unwrap();
+            }
+            prev = Some(v);
+        }
+        let rel = RelationalProvenance::from_graph(&g);
+        let (strings, nodes, edges, _) = rel.row_counts();
+        assert_eq!((strings, nodes, edges), (100, 100, 99));
+        let empty = RelationalProvenance::from_graph(&ProvenanceGraph::new());
+        assert!(rel.encoded_size() > empty.encoded_size());
+    }
+}

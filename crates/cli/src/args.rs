@@ -1,0 +1,120 @@
+//! Minimal argument parsing for `browserprov` (no external parser crate).
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, positional args, `--flag value` /
+/// `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options (`--key` alone stores an empty string).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// A `--key` consumes the next argument as its value unless that
+    /// argument is itself a flag, in which case `--key` is boolean.
+    pub fn parse(raw: &[String]) -> Args {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match raw.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        v.clone()
+                    }
+                    _ => String::new(),
+                };
+                args.options.insert(key.to_owned(), value);
+            } else if args.command.is_empty() {
+                args.command = a.clone();
+            } else {
+                args.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// String option with default.
+    pub fn opt(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+
+    /// Integer option with default.
+    pub fn opt_u64(&self, key: &str, default: u64) -> u64 {
+        self.options
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        let raw: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        Args::parse(&raw)
+    }
+
+    #[test]
+    fn command_and_positionals() {
+        let a = parse("search rosebud flower");
+        assert_eq!(a.command, "search");
+        assert_eq!(a.positional, vec!["rosebud", "flower"]);
+    }
+
+    #[test]
+    fn options_with_values() {
+        let a = parse("generate --days 79 --seed 42 --out events.log");
+        assert_eq!(a.opt_u64("days", 0), 79);
+        assert_eq!(a.opt_u64("seed", 0), 42);
+        assert_eq!(a.opt("out", ""), "events.log");
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse("search rosebud --textual --profile p");
+        assert!(a.has("textual"));
+        assert_eq!(a.opt("profile", ""), "p");
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("stats");
+        assert_eq!(a.opt("profile", "./profile"), "./profile");
+        assert_eq!(a.opt_u64("days", 7), 7);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse("x --a --b v");
+        assert_eq!(a.options["a"], "");
+        assert_eq!(a.options["b"], "v");
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = Args::parse(&[]);
+        assert!(a.command.is_empty());
+    }
+}

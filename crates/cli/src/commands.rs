@@ -1,0 +1,592 @@
+//! `browserprov` subcommand implementations.
+//!
+//! Every command returns its output as a `String` so the logic is unit
+//! testable; `main` only prints.
+
+use crate::args::Args;
+use bp_core::{eventlog, CaptureConfig, ProvenanceBrowser};
+use bp_graph::dot::{to_dot, DotOptions};
+use bp_graph::stats::stats;
+use bp_graph::traverse::Budget;
+use bp_query::{
+    contextual_history_search, downloads_descending_from, find_download,
+    first_recognizable_ancestor, personalize_query, textual_history_search, time_contextual_search,
+    ContextualConfig, LineageConfig, PersonalizeConfig, TimeContextConfig,
+};
+use bp_sim::calibrate;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Usage text.
+pub const USAGE: &str = "browserprov — a provenance-aware browser history backend
+
+USAGE:
+  browserprov generate  --days N --seed S --out FILE   generate a simulated event log
+  browserprov ingest    --profile DIR FILE             ingest an event log into a profile
+  browserprov stats     --profile DIR                  graph and storage statistics
+  browserprov search    --profile DIR QUERY [--textual|--ppr|--hits]
+                                                       history search: contextual (default),
+                                                       plain textual, PageRank, or HITS-blended
+  browserprov personalize --profile DIR QUERY          locally expand a web query
+  browserprov when      --profile DIR SUBJECT --with COMPANION  time-contextual search
+  browserprov lineage   --profile DIR FILEPATH         first recognizable ancestor of a download
+  browserprov whence    --profile DIR KEY              narrate how an object came to be
+  browserprov downloads-from --profile DIR URL         downloads descending from a page
+  browserprov query     --profile DIR QUERYSTRING      run a path query (see docs)
+  browserprov dot       --profile DIR [--around KEY --radius N]
+                                                       export the graph (or one key's
+                                                       neighborhood) as Graphviz DOT
+  browserprov snapshot  --profile DIR                  compact the store
+  browserprov redact    --profile DIR KEY              scrub a URL/query/path from history
+  browserprov tree      --profile DIR [--depth N]      render the navigation tree (Ayers-Stasko view)
+
+Common options:
+  --profile DIR   profile directory (default ./profile)
+  --budget MS     query deadline in milliseconds (default unlimited)
+";
+
+/// Runs one command, returning its textual output.
+///
+/// # Errors
+///
+/// Returns a displayable error string on any failure.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "ingest" => ingest(args),
+        "stats" => stats_cmd(args),
+        "search" => search(args),
+        "personalize" => personalize(args),
+        "when" => when(args),
+        "lineage" => lineage(args),
+        "whence" => whence(args),
+        "downloads-from" => downloads_from(args),
+        "query" => query_cmd(args),
+        "dot" => dot(args),
+        "snapshot" => snapshot(args),
+        "redact" => redact(args),
+        "tree" => tree(args),
+        "" | "help" | "--help" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn open(args: &Args) -> Result<ProvenanceBrowser, String> {
+    let profile = args.opt("profile", "./profile");
+    ProvenanceBrowser::open(&profile, CaptureConfig::default()).map_err(|e| e.to_string())
+}
+
+fn budget(args: &Args) -> Budget {
+    let mut budget = Budget::new();
+    if let Some(ms) = args
+        .options
+        .get("budget")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    budget
+}
+
+fn generate(args: &Args) -> Result<String, String> {
+    let days = args.opt_u64("days", 7) as u32;
+    let seed = args.opt_u64("seed", 42);
+    let out = args.opt("out", "events.log");
+    let web = calibrate::paper_web(seed);
+    let events = calibrate::days_history(&web, seed, days);
+    let text = eventlog::format_log(&events);
+    std::fs::write(&out, text).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} events ({} days, seed {}) to {}",
+        events.len(),
+        days,
+        seed,
+        out
+    ))
+}
+
+fn ingest(args: &Args) -> Result<String, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("ingest requires an event-log file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let events = eventlog::parse_log(&text).map_err(|e| e.to_string())?;
+    let mut browser = open(args)?;
+    let n = browser.ingest_all(&events).map_err(|e| e.to_string())?;
+    browser.sync().map_err(|e| e.to_string())?;
+    let report = browser.size_report();
+    Ok(format!(
+        "ingested {} events: {} nodes, {} edges, {} bytes on disk",
+        n,
+        browser.graph().node_count(),
+        browser.graph().edge_count(),
+        report.total_bytes()
+    ))
+}
+
+fn stats_cmd(args: &Args) -> Result<String, String> {
+    let browser = open(args)?;
+    let s = stats(browser.graph());
+    let report = browser.size_report();
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes: {}", s.nodes);
+    let _ = writeln!(out, "edges: {}", s.edges);
+    for (kind, count) in &s.nodes_by_kind {
+        let _ = writeln!(out, "  node kind {kind}: {count}");
+    }
+    for (kind, count) in &s.edges_by_kind {
+        let _ = writeln!(out, "  edge kind {kind}: {count}");
+    }
+    let _ = writeln!(out, "mean degree: {:.2}", s.mean_degree);
+    let _ = writeln!(out, "isolated nodes: {}", s.isolated_nodes);
+    let _ = writeln!(
+        out,
+        "on disk: {} bytes (snapshot {}, log {})",
+        report.total_bytes(),
+        report.snapshot_bytes,
+        report.log_bytes
+    );
+    let _ = writeln!(
+        out,
+        "interned strings: {} ({} bytes)",
+        report.interned_strings, report.interned_bytes
+    );
+    Ok(out)
+}
+
+fn search(args: &Args) -> Result<String, String> {
+    let query = args.positional.join(" ");
+    if query.is_empty() {
+        return Err("search requires a query".to_owned());
+    }
+    let browser = open(args)?;
+    let mut config = ContextualConfig {
+        budget: budget(args),
+        ..ContextualConfig::default()
+    };
+    let result = if args.has("textual") {
+        textual_history_search(&browser, &query, &config)
+    } else if args.has("ppr") {
+        bp_query::contextual_history_search_ppr(
+            &browser,
+            &query,
+            &config,
+            &bp_graph::pagerank::PageRankConfig::default(),
+        )
+    } else {
+        if args.has("hits") {
+            config.hits_weight = 1.0;
+        }
+        contextual_history_search(&browser, &query, &config)
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} hits in {:?}{}",
+        result.hits.len(),
+        result.elapsed,
+        if result.truncated { " (truncated)" } else { "" }
+    );
+    for hit in &result.hits {
+        let _ = writeln!(
+            out,
+            "  {:>8.4}  [{}] {}  {}",
+            hit.score,
+            hit.kind,
+            hit.key,
+            hit.title.as_deref().unwrap_or("")
+        );
+    }
+    Ok(out)
+}
+
+fn personalize(args: &Args) -> Result<String, String> {
+    let query = args.positional.join(" ");
+    if query.is_empty() {
+        return Err("personalize requires a query".to_owned());
+    }
+    let browser = open(args)?;
+    let expanded = personalize_query(&browser, &query, &PersonalizeConfig::default());
+    Ok(if expanded.is_unchanged() {
+        format!("no history context for {query:?}; query unchanged")
+    } else {
+        format!(
+            "expanded query: {:?} (added: {})",
+            expanded.to_query_string(),
+            expanded.added_terms.join(", ")
+        )
+    })
+}
+
+fn when(args: &Args) -> Result<String, String> {
+    let subject = args.positional.join(" ");
+    let companion = args.opt("with", "");
+    if subject.is_empty() || companion.is_empty() {
+        return Err("when requires SUBJECT and --with COMPANION".to_owned());
+    }
+    let browser = open(args)?;
+    let result = time_contextual_search(
+        &browser,
+        &subject,
+        &companion,
+        &TimeContextConfig::default(),
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} hits for {subject:?} associated with {companion:?} ({:?})",
+        result.hits.len(),
+        result.elapsed
+    );
+    for hit in &result.hits {
+        let _ = writeln!(
+            out,
+            "  {:>8.4}  {}  {}",
+            hit.score,
+            hit.key,
+            hit.title.as_deref().unwrap_or("")
+        );
+    }
+    Ok(out)
+}
+
+fn lineage(args: &Args) -> Result<String, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("lineage requires a download file path")?;
+    let browser = open(args)?;
+    let download =
+        find_download(&browser, path).ok_or_else(|| format!("no download recorded for {path}"))?;
+    let config = LineageConfig {
+        budget: budget(args),
+        ..LineageConfig::default()
+    };
+    match first_recognizable_ancestor(&browser, download, &config) {
+        Some(answer) => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "first recognizable ancestor: {} ({} visits, {} hops, {:?})",
+                answer.url,
+                answer.visit_count,
+                answer.path.hops(),
+                answer.elapsed
+            );
+            let _ = writeln!(out, "path:");
+            for &node in &answer.path.nodes {
+                if let Ok(n) = browser.graph().node(node) {
+                    let _ = writeln!(out, "  [{}] {}", n.kind(), n.key());
+                }
+            }
+            Ok(out)
+        }
+        None => Ok(format!(
+            "no recognizable ancestor found for {path} (within budget)"
+        )),
+    }
+}
+
+fn whence(args: &Args) -> Result<String, String> {
+    let key = args
+        .positional
+        .first()
+        .ok_or("whence requires a URL/query/path")?;
+    let browser = open(args)?;
+    let config = bp_query::DescribeConfig {
+        budget: budget(args),
+        ..bp_query::DescribeConfig::default()
+    };
+    bp_query::describe_origin(&browser, key, &config)
+        .ok_or_else(|| format!("nothing in history matches {key:?}"))
+}
+
+fn downloads_from(args: &Args) -> Result<String, String> {
+    let url = args
+        .positional
+        .first()
+        .ok_or("downloads-from requires a URL")?;
+    let browser = open(args)?;
+    let downloads = downloads_descending_from(&browser, url, &budget(args));
+    let mut out = String::new();
+    let _ = writeln!(out, "{} downloads descend from {url}", downloads.len());
+    for (_, path) in &downloads {
+        let _ = writeln!(out, "  {path}");
+    }
+    Ok(out)
+}
+
+fn query_cmd(args: &Args) -> Result<String, String> {
+    let text = args.positional.join(" ");
+    if text.is_empty() {
+        return Err("query requires a query string".to_owned());
+    }
+    let browser = open(args)?;
+    let rows = bp_query::ql::run(&browser, &text, &budget(args)).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} rows ({:?}){}",
+        rows.rows.len(),
+        rows.elapsed,
+        if rows.truncated { " (truncated)" } else { "" }
+    );
+    for row in &rows.rows {
+        let _ = writeln!(
+            out,
+            "  {} depth={} [{}] {}",
+            row.node, row.depth, row.kind, row.key
+        );
+    }
+    Ok(out)
+}
+
+fn dot(args: &Args) -> Result<String, String> {
+    let browser = open(args)?;
+    let graph = browser.graph();
+    match args.options.get("around") {
+        Some(key) if !key.is_empty() => {
+            // Export only the neighborhood of a key: BFS both directions
+            // within --radius hops from every node carrying it.
+            let radius = args.opt_u64("radius", 2) as usize;
+            let starts = browser.store().keys().get(key);
+            if starts.is_empty() {
+                return Err(format!("no history object with key {key:?}"));
+            }
+            let mut keep = std::collections::HashSet::new();
+            for &start in starts {
+                for direction in [
+                    bp_graph::traverse::Direction::Ancestors,
+                    bp_graph::traverse::Direction::Descendants,
+                ] {
+                    let t = bp_graph::traverse::bfs(
+                        graph,
+                        start,
+                        direction,
+                        |_| true,
+                        &Budget::new().with_max_depth(radius),
+                    );
+                    keep.extend(t.node_ids());
+                }
+            }
+            Ok(bp_graph::dot::to_dot_filtered(
+                graph,
+                &DotOptions::default(),
+                |n| keep.contains(&n),
+            ))
+        }
+        _ => Ok(to_dot(graph, &DotOptions::default())),
+    }
+}
+
+fn snapshot(args: &Args) -> Result<String, String> {
+    let mut browser = open(args)?;
+    browser.snapshot().map_err(|e| e.to_string())?;
+    let report = browser.size_report();
+    Ok(format!(
+        "snapshot written: {} bytes (log reset)",
+        report.snapshot_bytes
+    ))
+}
+
+fn tree(args: &Args) -> Result<String, String> {
+    let browser = open(args)?;
+    let depth = args.opt_u64("depth", 6) as usize;
+    let max_nodes = args.opt_u64("max-nodes", 200) as usize;
+    let forest = bp_graph::tree::HistoryTree::extract(browser.graph());
+    let mut out = format!(
+        "navigation forest: {} trees, {} tree edges (encoded: {} bytes)\n",
+        forest.roots().len(),
+        forest.edge_count(),
+        forest.encode().len()
+    );
+    out.push_str(&forest.render_ascii(browser.graph(), depth, max_nodes));
+    Ok(out)
+}
+
+fn redact(args: &Args) -> Result<String, String> {
+    let key = args
+        .positional
+        .first()
+        .ok_or("redact requires a URL/query/path to scrub")?;
+    let mut browser = open(args)?;
+    let n = browser.redact(key).map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Ok(format!("nothing in history matches {key:?}"));
+    }
+    // Compact immediately so the string leaves the disk too.
+    browser.snapshot().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "redacted {n} history objects for {key:?}; store compacted (content scrubbed from disk)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "bp-cli-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+        fn path(&self, name: &str) -> String {
+            self.0.join(name).to_string_lossy().into_owned()
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn run_line(line: &str) -> Result<String, String> {
+        let raw: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        run(&Args::parse(&raw))
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_line("help").unwrap().contains("USAGE"));
+        assert!(run_line("").unwrap().contains("USAGE"));
+        let err = run_line("frobnicate").unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_ingest_stats_search_roundtrip() {
+        let dir = TempDir::new("roundtrip");
+        let log = dir.path("events.log");
+        let profile = dir.path("profile");
+
+        let out = run_line(&format!("generate --days 2 --seed 7 --out {log}")).unwrap();
+        assert!(out.contains("events"), "{out}");
+
+        let out = run_line(&format!("ingest --profile {profile} {log}")).unwrap();
+        assert!(out.contains("nodes"), "{out}");
+
+        let out = run_line(&format!("stats --profile {profile}")).unwrap();
+        assert!(out.contains("nodes:"), "{out}");
+        assert!(out.contains("edge kind"), "{out}");
+
+        // Search for a word guaranteed by the simulator's vocabularies,
+        // with every algorithm variant.
+        for flag in ["", "--textual", "--ppr", "--hits"] {
+            let out = run_line(&format!("search --profile {profile} news {flag}")).unwrap();
+            assert!(out.contains("hits"), "{flag}: {out}");
+        }
+
+        let out = run_line(&format!(
+            "query --profile {profile} nodes where type = search_term limit 3"
+        ))
+        .unwrap();
+        assert!(out.contains("rows"), "{out}");
+
+        let out = run_line(&format!("snapshot --profile {profile}")).unwrap();
+        assert!(out.contains("snapshot written"), "{out}");
+
+        let out = run_line(&format!("dot --profile {profile}")).unwrap();
+        assert!(out.starts_with("digraph"));
+
+        let out = run_line(&format!("tree --profile {profile} --depth 3")).unwrap();
+        assert!(out.contains("navigation forest"), "{out}");
+        assert!(out.contains("[visit]"), "{out}");
+
+        // whence narrates any object in history.
+        let out = run_line(&format!(
+            "query --profile {profile} nodes where type = download limit 1"
+        ))
+        .unwrap();
+        if let Some(path) = out.lines().nth(1).and_then(|l| l.split_whitespace().last()) {
+            let story = run_line(&format!("whence --profile {profile} {path}")).unwrap();
+            assert!(story.contains("…"), "{story}");
+        }
+        assert!(run_line(&format!("whence --profile {profile} /absent")).is_err());
+
+        // Scoped dot export around a real key is much smaller than the
+        // full graph.
+        let full = run_line(&format!("dot --profile {profile}")).unwrap();
+        let log_text = std::fs::read_to_string(&log).unwrap();
+        let url = log_text
+            .lines()
+            .find_map(|l| l.split('\t').nth(4).filter(|f| f.starts_with("http")))
+            .unwrap();
+        let scoped = run_line(&format!(
+            "dot --profile {profile} --around {url} --radius 1"
+        ))
+        .unwrap();
+        assert!(scoped.starts_with("digraph"));
+        assert!(
+            scoped.len() < full.len(),
+            "{} vs {}",
+            scoped.len(),
+            full.len()
+        );
+        assert!(run_line(&format!(
+            "dot --profile {profile} --around http://nope/ --radius 1"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn search_requires_query() {
+        let dir = TempDir::new("noquery");
+        let profile = dir.path("profile");
+        assert!(run_line(&format!("search --profile {profile}")).is_err());
+        assert!(run_line(&format!("when --profile {profile}")).is_err());
+        assert!(run_line(&format!("lineage --profile {profile}")).is_err());
+    }
+
+    #[test]
+    fn lineage_reports_missing_download() {
+        let dir = TempDir::new("nodl");
+        let profile = dir.path("profile");
+        // Create an empty profile first.
+        run_line(&format!("stats --profile {profile}")).unwrap();
+        let err = run_line(&format!("lineage --profile {profile} /nope.bin")).unwrap_err();
+        assert!(err.contains("no download"), "{err}");
+    }
+
+    #[test]
+    fn redact_command_scrubs_history() {
+        let dir = TempDir::new("redact");
+        let log = dir.path("events.log");
+        let profile = dir.path("profile");
+        run_line(&format!("generate --days 1 --seed 3 --out {log}")).unwrap();
+        run_line(&format!("ingest --profile {profile} {log}")).unwrap();
+        // Find some URL from the log to redact.
+        let text = std::fs::read_to_string(&log).unwrap();
+        let url = text
+            .lines()
+            .find_map(|l| l.split('\t').nth(4).filter(|f| f.starts_with("http")))
+            .unwrap()
+            .to_owned();
+        let out = run_line(&format!("redact --profile {profile} {url}")).unwrap();
+        assert!(out.contains("redacted"), "{out}");
+        assert!(out.contains("compacted"), "{out}");
+        // Redacting again finds nothing.
+        let out = run_line(&format!("redact --profile {profile} {url}")).unwrap();
+        assert!(out.contains("nothing in history"), "{out}");
+        // Missing argument errors.
+        assert!(run_line(&format!("redact --profile {profile}")).is_err());
+    }
+
+    #[test]
+    fn ingest_rejects_bad_files() {
+        let dir = TempDir::new("badfile");
+        let profile = dir.path("profile");
+        assert!(run_line(&format!("ingest --profile {profile} /does/not/exist")).is_err());
+        let bad = dir.path("bad.log");
+        std::fs::write(&bad, "this is not an event log\n").unwrap();
+        assert!(run_line(&format!("ingest --profile {profile} {bad}")).is_err());
+    }
+}

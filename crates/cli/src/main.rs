@@ -1,0 +1,26 @@
+//! `browserprov` — command-line interface to the browser-provenance store.
+//!
+//! See [`commands::USAGE`] or run `browserprov help`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = args::Args::parse(&raw);
+    match commands::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The `ProvenanceBrowser` facade: capture + durable store + text index.
+//!
+//! This type is the library a provenance-aware browser (or this repo's
+//! simulator and CLI) embeds: feed it [`BrowserEvent`]s, and it maintains
+//! the homogeneous provenance graph store *and* the textual index that the
+//! §2 use-case queries start from.
+
+use crate::capture::{CaptureConfig, CaptureEngine, CaptureOutcome};
+use crate::error::CoreResult;
+use crate::event::BrowserEvent;
+use bp_graph::{NodeId, NodeKind, ProvenanceGraph};
+use bp_storage::{ProvenanceStore, SizeReport, SyncPolicy};
+use bp_text::InvertedIndex;
+use std::path::Path;
+
+/// A provenance-aware browser backend.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::{ProvenanceBrowser, BrowserEvent, NavigationCause, TabId, CaptureConfig};
+/// use bp_graph::Timestamp;
+///
+/// # fn main() -> Result<(), bp_core::CoreError> {
+/// let dir = std::env::temp_dir().join(format!("bp-browser-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let mut browser = ProvenanceBrowser::open(&dir, CaptureConfig::default())?;
+/// let t = Timestamp::from_secs(1);
+/// browser.ingest(&BrowserEvent::tab_opened(t, TabId(0), None))?;
+/// browser.ingest(&BrowserEvent::navigate(
+///     t.plus_micros(1_000_000), TabId(0),
+///     "http://films.example/kane", Some("Citizen Kane"), NavigationCause::Typed,
+/// ))?;
+/// let hits = browser.text_index().search("kane");
+/// assert_eq!(hits.len(), 1);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProvenanceBrowser {
+    engine: CaptureEngine,
+    index: InvertedIndex,
+}
+
+impl ProvenanceBrowser {
+    /// Opens (or creates) the browser profile at `dir` with the given
+    /// capture configuration, recovering any prior history and rebuilding
+    /// the text index from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store open/recovery failures.
+    pub fn open(dir: impl AsRef<Path>, config: CaptureConfig) -> CoreResult<Self> {
+        Self::open_with_policy(dir, config, SyncPolicy::OsManaged)
+    }
+
+    /// [`open`](Self::open) with an explicit durability policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store open/recovery failures.
+    pub fn open_with_policy(
+        dir: impl AsRef<Path>,
+        config: CaptureConfig,
+        policy: SyncPolicy,
+    ) -> CoreResult<Self> {
+        let store = ProvenanceStore::open(dir, policy)?;
+        let engine = CaptureEngine::new(store, config);
+        let mut browser = ProvenanceBrowser {
+            engine,
+            index: InvertedIndex::new(),
+        };
+        // Rebuild the text index from the recovered graph.
+        let ids: Vec<NodeId> = browser.engine.store().graph().node_ids().collect();
+        for id in ids {
+            browser.index_node(id);
+        }
+        Ok(browser)
+    }
+
+    /// Feeds one browser event through capture and indexing.
+    ///
+    /// # Errors
+    ///
+    /// See [`CaptureEngine::handle`].
+    pub fn ingest(&mut self, event: &BrowserEvent) -> CoreResult<CaptureOutcome> {
+        let outcome = self.engine.handle(event)?;
+        if let Some(id) = outcome.primary {
+            self.index_node(id);
+        }
+        Ok(outcome)
+    }
+
+    /// Feeds a whole event stream; stops at the first error.
+    ///
+    /// # Errors
+    ///
+    /// See [`ingest`](Self::ingest).
+    pub fn ingest_all<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a BrowserEvent>,
+    ) -> CoreResult<usize> {
+        let mut n = 0;
+        for event in events {
+            self.ingest(event)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn index_node(&mut self, id: NodeId) {
+        let graph = self.engine.store().graph();
+        let Ok(node) = graph.node(id) else { return };
+        let doc = id.index();
+        match node.kind() {
+            NodeKind::PageVisit => {
+                let mut text = node.key().to_owned();
+                if let Some(title) = node.attrs().get_str("title") {
+                    text.push(' ');
+                    text.push_str(title);
+                }
+                self.index.add_document(doc, &text);
+            }
+            NodeKind::SearchTerm | NodeKind::FormEntry => {
+                self.index.add_document(doc, node.key());
+            }
+            NodeKind::Download => {
+                self.index.add_document(doc, node.key());
+            }
+            NodeKind::Bookmark => {
+                let mut text = node.key().to_owned();
+                if let Some(name) = node.attrs().get_str("name") {
+                    text.push(' ');
+                    text.push_str(name);
+                }
+                self.index.add_document(doc, &text);
+            }
+            // Page objects duplicate their visits' text; tabs carry none.
+            NodeKind::Page | NodeKind::Tab => {}
+        }
+    }
+
+    /// The provenance graph.
+    pub fn graph(&self) -> &ProvenanceGraph {
+        self.engine.store().graph()
+    }
+
+    /// The underlying durable store.
+    pub fn store(&self) -> &ProvenanceStore {
+        self.engine.store()
+    }
+
+    /// The capture engine (tab state, visit counts).
+    pub fn engine(&self) -> &CaptureEngine {
+        &self.engine
+    }
+
+    /// The textual index over history objects.
+    pub fn text_index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Number of visits recorded for `url`.
+    pub fn visit_count(&self, url: &str) -> u32 {
+        self.engine.visit_count(url)
+    }
+
+    /// Redacts a URL (or any history key) from the store and the text
+    /// index (§4: "use browser provenance to increase user privacy").
+    /// Returns how many history objects were redacted. Call
+    /// [`snapshot`](Self::snapshot) afterwards to scrub the string from
+    /// disk as well.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn redact(&mut self, key: &str) -> CoreResult<usize> {
+        let nodes = self.engine.redact(key)?;
+        for node in &nodes {
+            self.index.remove_document(node.index());
+        }
+        Ok(nodes.len())
+    }
+
+    /// Compacts the store into a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn snapshot(&mut self) -> CoreResult<()> {
+        self.engine.store_mut().snapshot()?;
+        Ok(())
+    }
+
+    /// Flushes the log to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn sync(&mut self) -> CoreResult<()> {
+        self.engine.store_mut().sync()?;
+        Ok(())
+    }
+
+    /// On-disk size accounting (experiment E1).
+    pub fn size_report(&self) -> SizeReport {
+        self.engine.store().size_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NavigationCause, TabId};
+    use bp_graph::Timestamp;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "bp-browser-test-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn browse(b: &mut ProvenanceBrowser) {
+        b.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))
+            .unwrap();
+        b.ingest(&BrowserEvent::navigate(
+            t(1),
+            TabId(0),
+            "http://se/?q=rosebud",
+            Some("rosebud - Search"),
+            NavigationCause::SearchQuery {
+                query: "rosebud".to_owned(),
+            },
+        ))
+        .unwrap();
+        b.ingest(&BrowserEvent::navigate(
+            t(2),
+            TabId(0),
+            "http://films/kane",
+            Some("Citizen Kane (1941)"),
+            NavigationCause::Link,
+        ))
+        .unwrap();
+        b.ingest(&BrowserEvent::new(
+            t(3),
+            EventKind::Download {
+                tab: TabId(0),
+                path: "/home/u/film-poster.jpg".to_owned(),
+                bytes: 5000,
+            },
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn ingest_updates_graph_and_index() {
+        let dir = TempDir::new("ingest");
+        let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        browse(&mut b);
+        assert!(b.graph().node_count() >= 5);
+        // Title text is searchable.
+        let hits = b.text_index().search("citizen");
+        assert_eq!(hits.len(), 1);
+        // Download path is searchable.
+        assert_eq!(b.text_index().search("poster").len(), 1);
+        // Search term node is indexed.
+        assert!(!b.text_index().search("rosebud").is_empty());
+        assert_eq!(b.visit_count("http://films/kane"), 1);
+    }
+
+    #[test]
+    fn index_rebuilds_on_reopen() {
+        let dir = TempDir::new("reopen");
+        {
+            let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+            browse(&mut b);
+        }
+        let b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        assert_eq!(b.text_index().search("citizen").len(), 1);
+        assert_eq!(b.text_index().search("poster").len(), 1);
+        assert_eq!(b.visit_count("http://films/kane"), 1);
+    }
+
+    #[test]
+    fn ingest_all_counts_and_stops_on_error() {
+        let dir = TempDir::new("ingest-all");
+        let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        let events = vec![
+            BrowserEvent::tab_opened(t(0), TabId(0), None),
+            BrowserEvent::navigate(t(1), TabId(0), "http://a/", None, NavigationCause::Typed),
+        ];
+        assert_eq!(b.ingest_all(&events).unwrap(), 2);
+        let bad = vec![BrowserEvent::navigate(
+            t(2),
+            TabId(7),
+            "http://b/",
+            None,
+            NavigationCause::Link,
+        )];
+        assert!(b.ingest_all(&bad).is_err());
+    }
+
+    #[test]
+    fn snapshot_then_reopen() {
+        let dir = TempDir::new("snapshot");
+        {
+            let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+            browse(&mut b);
+            b.snapshot().unwrap();
+            b.sync().unwrap();
+        }
+        let b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        assert!(b.graph().node_count() >= 5);
+        assert!(b.size_report().snapshot_bytes > 0);
+        assert_eq!(b.text_index().search("citizen").len(), 1);
+    }
+
+    #[test]
+    fn redact_scrubs_search_results_and_reopen() {
+        let dir = TempDir::new("redact");
+        {
+            let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+            browse(&mut b);
+            assert_eq!(b.text_index().search("citizen").len(), 1);
+            let n = b.redact("http://films/kane").unwrap();
+            assert!(n >= 1, "visit (and page object) redacted");
+            assert!(b.text_index().search("citizen").is_empty());
+            assert!(b.text_index().search("kane").is_empty());
+            // Other history is untouched.
+            assert!(!b.text_index().search("rosebud").is_empty());
+            assert_eq!(b.visit_count("http://films/kane"), 0);
+            b.snapshot().unwrap();
+        }
+        // After reopen + reindex from the recovered graph, the redacted
+        // content is still gone.
+        let b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        assert!(b.text_index().search("citizen").is_empty());
+        // And no trace on disk after the compaction.
+        let mut disk = Vec::new();
+        for entry in std::fs::read_dir(&dir.0).unwrap() {
+            disk.extend(std::fs::read(entry.unwrap().path()).unwrap());
+        }
+        assert!(!disk
+            .windows(b"films/kane".len())
+            .any(|w| w == b"films/kane".as_slice()));
+    }
+
+    #[test]
+    fn redact_unknown_key_is_noop() {
+        let dir = TempDir::new("redact-noop");
+        let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        assert_eq!(b.redact("http://never/").unwrap(), 0);
+    }
+
+    #[test]
+    fn engine_accessor_exposes_tabs() {
+        let dir = TempDir::new("engine");
+        let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        b.ingest(&BrowserEvent::tab_opened(t(0), TabId(3), None))
+            .unwrap();
+        assert_eq!(b.engine().open_tabs(), vec![TabId(3)]);
+        assert_eq!(b.engine().config(), &CaptureConfig::default());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the capture layer.
+
+use core::fmt;
+
+/// Result alias used throughout `bp-core`.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors returned by the capture layer and facade.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The underlying store failed.
+    Storage(bp_storage::StorageError),
+    /// An event was inconsistent with browser state (e.g. navigation in a
+    /// tab that was never opened, a bookmark click on an unknown bookmark).
+    BadEvent(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::BadEvent(msg) => write!(f, "inconsistent browser event: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::BadEvent(_) => None,
+        }
+    }
+}
+
+impl From<bp_storage::StorageError> for CoreError {
+    fn from(e: bp_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Storage(bp_storage::StorageError::Io(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::BadEvent("tab 3 unknown".into());
+        assert!(e.to_string().contains("tab 3 unknown"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let s: CoreError = bp_storage::StorageError::corrupt(0, "x").into();
+        assert!(s.to_string().contains("storage"));
+        assert!(std::error::Error::source(&s).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

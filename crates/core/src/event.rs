@@ -1,0 +1,231 @@
+//! The browser event model — what a provenance-aware browser's hooks emit.
+//!
+//! §3 inventories "common actions in modern browsers and the provenance
+//! those actions generate". This module is that inventory as a type: every
+//! value of [`BrowserEvent`] is one observable browser action, and the
+//! capture layer ([`crate::capture`]) maps each to nodes and edges.
+//!
+//! The real paper instrumented Firefox 3; this reproduction replaces the
+//! hook mechanism with an explicit event stream (emitted by `bp-sim` or
+//! parsed from an event log), which is exactly the information the hooks
+//! would deliver.
+
+use bp_graph::Timestamp;
+use core::fmt;
+
+/// Identifier of a browser tab within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TabId(pub u32);
+
+impl fmt::Display for TabId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tab{}", self.0)
+    }
+}
+
+/// Why a navigation happened — the superset of the HTTP referrer that
+/// Firefox calls "transitions" (§3), extended with the §3.2 second-class
+/// relationships.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NavigationCause {
+    /// The user clicked a link on the tab's current page.
+    Link,
+    /// The user typed the URL (or accepted an autocompletion) in the
+    /// location bar. Most browsers record no relationship for this (§3.2).
+    Typed,
+    /// The user clicked the bookmark identified by its URL.
+    Bookmark {
+        /// URL of the bookmark that was clicked.
+        bookmark_url: String,
+    },
+    /// The server redirected from the tab's current page (automatic).
+    Redirect {
+        /// HTTP status of the redirect (301, 302, 303, 307, 308).
+        status: u16,
+    },
+    /// The navigation is the results page of a web search.
+    SearchQuery {
+        /// The user's query string — a provenance node in its own right
+        /// (§3.3).
+        query: String,
+    },
+    /// The user submitted a form on the tab's current page.
+    FormSubmit {
+        /// Form field summary (e.g. "city=Napa&when=June") — "deep web"
+        /// capture, §3.3.
+        fields: String,
+    },
+    /// The user pressed back/forward, landing on `url` again.
+    BackForward,
+    /// The user reloaded the current page.
+    Reload,
+}
+
+impl NavigationCause {
+    /// Short label for logs and the event-log text format.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NavigationCause::Link => "link",
+            NavigationCause::Typed => "typed",
+            NavigationCause::Bookmark { .. } => "bookmark",
+            NavigationCause::Redirect { .. } => "redirect",
+            NavigationCause::SearchQuery { .. } => "search",
+            NavigationCause::FormSubmit { .. } => "form",
+            NavigationCause::BackForward => "back_forward",
+            NavigationCause::Reload => "reload",
+        }
+    }
+}
+
+/// One observable browser action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A tab was opened. `opener` is the tab whose page spawned it (via
+    /// target=_blank, middle-click, etc.); `None` for a fresh tab.
+    TabOpened {
+        /// The new tab.
+        tab: TabId,
+        /// The tab that opened it, if any.
+        opener: Option<TabId>,
+    },
+    /// A tab was closed (closing its current page's interval, §3.2).
+    TabClosed {
+        /// The tab being closed.
+        tab: TabId,
+    },
+    /// The browser navigated `tab` to `url`.
+    Navigate {
+        /// The tab navigating.
+        tab: TabId,
+        /// Destination URL.
+        url: String,
+        /// Page title, when known at navigation time.
+        title: Option<String>,
+        /// What caused the navigation.
+        cause: NavigationCause,
+    },
+    /// A page embedded sub-content (frame/image/script) — an automatic
+    /// link-like relationship (§3.2).
+    EmbedLoad {
+        /// The tab whose top-level page loaded the content.
+        tab: TabId,
+        /// URL of the embedded resource.
+        url: String,
+    },
+    /// The user bookmarked the current page of `tab`.
+    BookmarkAdd {
+        /// The tab whose page is bookmarked.
+        tab: TabId,
+        /// Bookmark display name.
+        name: String,
+    },
+    /// A file finished downloading from the current page of `tab`.
+    Download {
+        /// The tab the download originated from.
+        tab: TabId,
+        /// Local file path of the downloaded file.
+        path: String,
+        /// Size in bytes.
+        bytes: u64,
+    },
+}
+
+/// A time-stamped browser action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrowserEvent {
+    /// When the action occurred.
+    pub at: Timestamp,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl BrowserEvent {
+    /// Creates an event.
+    pub fn new(at: Timestamp, kind: EventKind) -> Self {
+        BrowserEvent { at, kind }
+    }
+
+    /// Convenience: a navigation event.
+    pub fn navigate(
+        at: Timestamp,
+        tab: TabId,
+        url: impl Into<String>,
+        title: Option<&str>,
+        cause: NavigationCause,
+    ) -> Self {
+        BrowserEvent::new(
+            at,
+            EventKind::Navigate {
+                tab,
+                url: url.into(),
+                title: title.map(str::to_owned),
+                cause,
+            },
+        )
+    }
+
+    /// Convenience: open a tab.
+    pub fn tab_opened(at: Timestamp, tab: TabId, opener: Option<TabId>) -> Self {
+        BrowserEvent::new(at, EventKind::TabOpened { tab, opener })
+    }
+
+    /// Convenience: close a tab.
+    pub fn tab_closed(at: Timestamp, tab: TabId) -> Self {
+        BrowserEvent::new(at, EventKind::TabClosed { tab })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = Timestamp::from_secs(1);
+        let e = BrowserEvent::navigate(t, TabId(0), "http://a/", Some("A"), NavigationCause::Link);
+        match &e.kind {
+            EventKind::Navigate {
+                tab,
+                url,
+                title,
+                cause,
+            } => {
+                assert_eq!(*tab, TabId(0));
+                assert_eq!(url, "http://a/");
+                assert_eq!(title.as_deref(), Some("A"));
+                assert_eq!(*cause, NavigationCause::Link);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(e.at, t);
+    }
+
+    #[test]
+    fn cause_labels_are_distinct() {
+        let causes = [
+            NavigationCause::Link,
+            NavigationCause::Typed,
+            NavigationCause::Bookmark {
+                bookmark_url: String::new(),
+            },
+            NavigationCause::Redirect { status: 301 },
+            NavigationCause::SearchQuery {
+                query: String::new(),
+            },
+            NavigationCause::FormSubmit {
+                fields: String::new(),
+            },
+            NavigationCause::BackForward,
+            NavigationCause::Reload,
+        ];
+        let mut labels: Vec<&str> = causes.iter().map(NavigationCause::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), causes.len());
+    }
+
+    #[test]
+    fn tab_display() {
+        assert_eq!(TabId(4).to_string(), "tab4");
+    }
+}

@@ -1,0 +1,437 @@
+//! A plain-text event-log format.
+//!
+//! One event per line, tab-separated, with percent-escaping for the three
+//! characters that would break the framing (`%`, tab, newline). The CLI
+//! uses this to persist and replay captured event streams, and the
+//! simulator can dump workloads for inspection — the reproduction's
+//! stand-in for a real browser's instrumentation feed.
+//!
+//! ```text
+//! 1000000  open      0  -
+//! 2000000  nav       0  typed     http://a/  A%20Title
+//! 3000000  nav       0  search    http://se/?q=wine  -  wine
+//! 4000000  download  0  /tmp/list.pdf  8192
+//! 5000000  close     0
+//! ```
+
+use crate::error::{CoreError, CoreResult};
+use crate::event::{BrowserEvent, EventKind, NavigationCause, TabId};
+use bp_graph::Timestamp;
+use std::fmt::Write as _;
+
+/// Escapes a field for the tab-separated format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+fn unescape(s: &str) -> CoreResult<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next();
+        let lo = chars.next();
+        match (hi, lo) {
+            (Some(h), Some(l)) => {
+                let byte = u8::from_str_radix(&format!("{h}{l}"), 16)
+                    .map_err(|_| CoreError::BadEvent(format!("bad escape %{h}{l}")))?;
+                out.push(byte as char);
+            }
+            _ => return Err(CoreError::BadEvent("truncated escape".to_owned())),
+        }
+    }
+    Ok(out)
+}
+
+/// Optional field: `-` encodes `None`.
+fn opt(s: &Option<String>) -> String {
+    match s {
+        Some(v) if !v.is_empty() => escape(v),
+        _ => "-".to_owned(),
+    }
+}
+
+/// Formats one event as a log line (no trailing newline).
+pub fn format_event(event: &BrowserEvent) -> String {
+    let mut line = String::new();
+    let _ = write!(line, "{}", event.at.as_micros());
+    match &event.kind {
+        EventKind::TabOpened { tab, opener } => {
+            let _ = write!(line, "\topen\t{}", tab.0);
+            match opener {
+                Some(o) => {
+                    let _ = write!(line, "\t{}", o.0);
+                }
+                None => line.push_str("\t-"),
+            }
+        }
+        EventKind::TabClosed { tab } => {
+            let _ = write!(line, "\tclose\t{}", tab.0);
+        }
+        EventKind::Navigate {
+            tab,
+            url,
+            title,
+            cause,
+        } => {
+            let _ = write!(
+                line,
+                "\tnav\t{}\t{}\t{}\t{}",
+                tab.0,
+                cause.label(),
+                escape(url),
+                opt(title)
+            );
+            match cause {
+                NavigationCause::Bookmark { bookmark_url } => {
+                    let _ = write!(line, "\t{}", escape(bookmark_url));
+                }
+                NavigationCause::Redirect { status } => {
+                    let _ = write!(line, "\t{status}");
+                }
+                NavigationCause::SearchQuery { query } => {
+                    let _ = write!(line, "\t{}", escape(query));
+                }
+                NavigationCause::FormSubmit { fields } => {
+                    let _ = write!(line, "\t{}", escape(fields));
+                }
+                _ => {}
+            }
+        }
+        EventKind::EmbedLoad { tab, url } => {
+            let _ = write!(line, "\tembed\t{}\t{}", tab.0, escape(url));
+        }
+        EventKind::BookmarkAdd { tab, name } => {
+            let _ = write!(line, "\tbookmark_add\t{}\t{}", tab.0, escape(name));
+        }
+        EventKind::Download { tab, path, bytes } => {
+            let _ = write!(line, "\tdownload\t{}\t{}\t{}", tab.0, escape(path), bytes);
+        }
+    }
+    line
+}
+
+/// Formats a whole event stream, one line per event.
+pub fn format_log<'a>(events: impl IntoIterator<Item = &'a BrowserEvent>) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&format_event(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one log line.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadEvent`] for malformed lines.
+pub fn parse_event(line: &str) -> CoreResult<BrowserEvent> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    let bad = |msg: &str| CoreError::BadEvent(format!("{msg}: {line:?}"));
+    if fields.len() < 2 {
+        return Err(bad("too few fields"));
+    }
+    let at = Timestamp::from_micros(fields[0].parse::<i64>().map_err(|_| bad("bad timestamp"))?);
+    let tab_at = |i: usize| -> CoreResult<TabId> {
+        fields
+            .get(i)
+            .and_then(|f| f.parse::<u32>().ok())
+            .map(TabId)
+            .ok_or_else(|| bad("bad tab id"))
+    };
+    let field_at = |i: usize| -> CoreResult<String> {
+        unescape(fields.get(i).ok_or_else(|| bad("missing field"))?)
+    };
+    let kind = match fields[1] {
+        "open" => {
+            let tab = tab_at(2)?;
+            let opener = match fields.get(3) {
+                Some(&"-") | None => None,
+                Some(f) => Some(TabId(f.parse::<u32>().map_err(|_| bad("bad opener"))?)),
+            };
+            EventKind::TabOpened { tab, opener }
+        }
+        "close" => EventKind::TabClosed { tab: tab_at(2)? },
+        "nav" => {
+            let tab = tab_at(2)?;
+            let cause_label = *fields.get(3).ok_or_else(|| bad("missing cause"))?;
+            let url = field_at(4)?;
+            let title = match fields.get(5) {
+                Some(&"-") | None => None,
+                Some(f) => Some(unescape(f)?),
+            };
+            let cause = match cause_label {
+                "link" => NavigationCause::Link,
+                "typed" => NavigationCause::Typed,
+                "back_forward" => NavigationCause::BackForward,
+                "reload" => NavigationCause::Reload,
+                "bookmark" => NavigationCause::Bookmark {
+                    bookmark_url: field_at(6)?,
+                },
+                "redirect" => NavigationCause::Redirect {
+                    status: fields
+                        .get(6)
+                        .and_then(|f| f.parse::<u16>().ok())
+                        .ok_or_else(|| bad("bad redirect status"))?,
+                },
+                "search" => NavigationCause::SearchQuery {
+                    query: field_at(6)?,
+                },
+                "form" => NavigationCause::FormSubmit {
+                    fields: field_at(6)?,
+                },
+                other => return Err(bad(&format!("unknown cause {other}"))),
+            };
+            EventKind::Navigate {
+                tab,
+                url,
+                title,
+                cause,
+            }
+        }
+        "embed" => EventKind::EmbedLoad {
+            tab: tab_at(2)?,
+            url: field_at(3)?,
+        },
+        "bookmark_add" => EventKind::BookmarkAdd {
+            tab: tab_at(2)?,
+            name: field_at(3)?,
+        },
+        "download" => EventKind::Download {
+            tab: tab_at(2)?,
+            path: field_at(3)?,
+            bytes: fields
+                .get(4)
+                .and_then(|f| f.parse::<u64>().ok())
+                .ok_or_else(|| bad("bad byte count"))?,
+        },
+        other => return Err(bad(&format!("unknown event kind {other}"))),
+    };
+    Ok(BrowserEvent { at, kind })
+}
+
+/// Parses a whole log (empty lines and `#` comments skipped).
+///
+/// # Errors
+///
+/// Returns the first line's parse error, annotated with its line number.
+pub fn parse_log(text: &str) -> CoreResult<Vec<BrowserEvent>> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        events.push(
+            parse_event(trimmed)
+                .map_err(|e| CoreError::BadEvent(format!("line {}: {e}", lineno + 1)))?,
+        );
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn samples() -> Vec<BrowserEvent> {
+        vec![
+            BrowserEvent::tab_opened(t(1), TabId(0), None),
+            BrowserEvent::tab_opened(t(2), TabId(1), Some(TabId(0))),
+            BrowserEvent::navigate(
+                t(3),
+                TabId(0),
+                "http://a/",
+                Some("A Title"),
+                NavigationCause::Typed,
+            ),
+            BrowserEvent::navigate(t(4), TabId(0), "http://b/", None, NavigationCause::Link),
+            BrowserEvent::navigate(
+                t(5),
+                TabId(0),
+                "http://se/?q=wine+tasting",
+                Some("wine - Search"),
+                NavigationCause::SearchQuery {
+                    query: "wine tasting".to_owned(),
+                },
+            ),
+            BrowserEvent::navigate(
+                t(6),
+                TabId(0),
+                "http://target/",
+                None,
+                NavigationCause::Redirect { status: 302 },
+            ),
+            BrowserEvent::navigate(
+                t(7),
+                TabId(0),
+                "http://wiki/",
+                None,
+                NavigationCause::Bookmark {
+                    bookmark_url: "http://wiki/".to_owned(),
+                },
+            ),
+            BrowserEvent::navigate(
+                t(8),
+                TabId(0),
+                "http://flights/results",
+                None,
+                NavigationCause::FormSubmit {
+                    fields: "from=SFO&to=JFK".to_owned(),
+                },
+            ),
+            BrowserEvent::navigate(
+                t(9),
+                TabId(0),
+                "http://a/",
+                None,
+                NavigationCause::BackForward,
+            ),
+            BrowserEvent::navigate(t(10), TabId(0), "http://a/", None, NavigationCause::Reload),
+            BrowserEvent::new(
+                t(11),
+                EventKind::EmbedLoad {
+                    tab: TabId(0),
+                    url: "http://ads/x.js".to_owned(),
+                },
+            ),
+            BrowserEvent::new(
+                t(12),
+                EventKind::BookmarkAdd {
+                    tab: TabId(0),
+                    name: "My page".to_owned(),
+                },
+            ),
+            BrowserEvent::new(
+                t(13),
+                EventKind::Download {
+                    tab: TabId(0),
+                    path: "/tmp/file with space.pdf".to_owned(),
+                    bytes: 999,
+                },
+            ),
+            BrowserEvent::tab_closed(t(14), TabId(1)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_event_kinds() {
+        let events = samples();
+        let text = format_log(&events);
+        let parsed = parse_log(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn escaping_handles_awkward_characters() {
+        let e = BrowserEvent::navigate(
+            t(1),
+            TabId(0),
+            "http://x/?a=1%2\tb\nc",
+            Some("Tab\tNewline\nPercent%"),
+            NavigationCause::SearchQuery {
+                query: "q\twith\nstuff%".to_owned(),
+            },
+        );
+        let line = format_event(&e);
+        assert!(!line.contains('\n'));
+        assert_eq!(line.matches('\t').count(), 6, "only framing tabs");
+        let parsed = parse_event(&line).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n1000000\topen\t0\t-\n";
+        let events = parse_log(text).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let text = "1000000\topen\t0\t-\nnot an event\n";
+        let err = parse_log(text).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn bad_fields_rejected() {
+        for bad in [
+            "xyz\topen\t0\t-",               // bad timestamp
+            "1\tfly\t0",                     // unknown kind
+            "1\tnav\t0\twarp\thttp://a/\t-", // unknown cause
+            "1\tnav\t0\tredirect\thttp://a/\t-\tnotanumber",
+            "1\tdownload\t0\t/tmp/x", // missing bytes
+            "1\topen",                // missing tab
+        ] {
+            assert!(parse_event(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_title_roundtrips_as_none() {
+        let e =
+            BrowserEvent::navigate(t(1), TabId(0), "http://a/", Some(""), NavigationCause::Link);
+        let parsed = parse_event(&format_event(&e)).unwrap();
+        match parsed.kind {
+            EventKind::Navigate { title, .. } => assert_eq!(title, None),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn truncated_escape_rejected() {
+        assert!(unescape("abc%2").is_err());
+        assert!(unescape("abc%zz").is_err());
+        assert_eq!(unescape("a%25b").unwrap(), "a%b");
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The parser never panics, whatever bytes arrive (a user can
+            /// point `browserprov ingest` at any file).
+            #[test]
+            fn parse_never_panics(input in ".{0,400}") {
+                let _ = parse_log(&input);
+                for line in input.lines() {
+                    let _ = parse_event(line);
+                }
+            }
+
+            /// Mutating any single character of a valid log line either
+            /// still parses or errors cleanly — never panics, never loops.
+            #[test]
+            fn mutated_lines_fail_cleanly(pos in 0usize..120, replacement in proptest::char::any()) {
+                let line = "1000000\tnav\t0\tsearch\thttp://se/?q=a+b\tTitle\twine tasting";
+                let mut chars: Vec<char> = line.chars().collect();
+                if pos < chars.len() {
+                    chars[pos] = replacement;
+                }
+                let mutated: String = chars.into_iter().collect();
+                let _ = parse_event(&mutated);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Graphviz DOT export.
+//!
+//! Early history-visualization work (Ayers & Stasko, cited in §3.1) rendered
+//! the history graph for users; DOT export gives the examples and the CLI a
+//! way to do the same with standard tooling.
+
+use crate::graph::ProvenanceGraph;
+use crate::node::NodeKind;
+use std::fmt::Write as _;
+
+/// Options controlling [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name emitted in the header.
+    pub name: String,
+    /// Include edge-kind labels.
+    pub edge_labels: bool,
+    /// Truncate node keys to this many characters for readability.
+    pub max_key_len: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "provenance".to_owned(),
+            edge_labels: true,
+            max_key_len: 40,
+        }
+    }
+}
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Node shape encodes kind (box = page/visit, ellipse = search term,
+/// note = download, diamond = bookmark) so the §2 scenarios read at a
+/// glance.
+pub fn to_dot(graph: &ProvenanceGraph, options: &DotOptions) -> String {
+    to_dot_filtered(graph, options, |_| true)
+}
+
+/// [`to_dot`] restricted to nodes for which `include` returns `true`
+/// (edges render only when both endpoints are included). Histories grow to
+/// tens of thousands of nodes; callers typically pass a BFS neighborhood.
+pub fn to_dot_filtered(
+    graph: &ProvenanceGraph,
+    options: &DotOptions,
+    mut include: impl FnMut(crate::NodeId) -> bool,
+) -> String {
+    let mut included = vec![false; graph.node_count()];
+    for id in graph.node_ids() {
+        included[id.as_usize()] = include(id);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&options.name));
+    let _ = writeln!(out, "  rankdir=BT;");
+    for (id, node) in graph.nodes() {
+        if !included[id.as_usize()] {
+            continue;
+        }
+        let mut key = node.key().to_owned();
+        if key.len() > options.max_key_len {
+            key.truncate(options.max_key_len);
+            key.push('…');
+        }
+        let shape = match node.kind() {
+            NodeKind::Page | NodeKind::PageVisit => "box",
+            NodeKind::SearchTerm => "ellipse",
+            NodeKind::Download => "note",
+            NodeKind::Bookmark => "diamond",
+            NodeKind::FormEntry => "parallelogram",
+            NodeKind::Tab => "folder",
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{}\" shape={}];",
+            id.index(),
+            escape(&key),
+            node.kind(),
+            shape
+        );
+    }
+    for (_, edge) in graph.edges() {
+        if !included[edge.src().as_usize()] || !included[edge.dst().as_usize()] {
+            continue;
+        }
+        if options.edge_labels {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                edge.src().index(),
+                edge.dst().index(),
+                edge.kind()
+            );
+        } else {
+            let _ = writeln!(out, "  {} -> {};", edge.src().index(), edge.dst().index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeKind;
+    use crate::node::Node;
+    use crate::time::Timestamp;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.add_node(Node::new(NodeKind::SearchTerm, "rosebud", Timestamp::EPOCH));
+        let b = g.add_node(Node::new(
+            NodeKind::PageVisit,
+            "http://films/kane",
+            Timestamp::from_secs(1),
+        ));
+        g.add_edge(b, a, EdgeKind::SearchResult, Timestamp::from_secs(1))
+            .unwrap();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph provenance {"));
+        assert!(dot.contains("rosebud"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("1 -> 0 [label=\"search_result\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_and_truncates_long_keys() {
+        let mut g = ProvenanceGraph::new();
+        g.add_node(Node::new(
+            NodeKind::Page,
+            format!("http://x/{}\"quoted\"", "a".repeat(100)),
+            Timestamp::EPOCH,
+        ));
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                max_key_len: 20,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains('…'));
+        assert!(!dot.contains("\"quoted\""), "quotes must be escaped");
+    }
+
+    #[test]
+    fn edge_labels_can_be_disabled() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.add_node(Node::new(NodeKind::Page, "a", Timestamp::EPOCH));
+        let b = g.add_node(Node::new(NodeKind::Page, "b", Timestamp::EPOCH));
+        g.add_edge(b, a, EdgeKind::Link, Timestamp::EPOCH).unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                edge_labels: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("1 -> 0;"));
+        assert!(!dot.contains("label=\"link\""));
+    }
+
+    #[test]
+    fn filtered_export_drops_excluded_nodes_and_their_edges() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.add_node(Node::new(NodeKind::Page, "keep-a", Timestamp::EPOCH));
+        let b = g.add_node(Node::new(NodeKind::Page, "keep-b", Timestamp::EPOCH));
+        let c = g.add_node(Node::new(NodeKind::Page, "drop-c", Timestamp::EPOCH));
+        g.add_edge(b, a, EdgeKind::Link, Timestamp::EPOCH).unwrap();
+        g.add_edge(c, b, EdgeKind::Link, Timestamp::EPOCH).unwrap();
+        let dot = to_dot_filtered(&g, &DotOptions::default(), |n| n != c);
+        assert!(dot.contains("keep-a"));
+        assert!(dot.contains("keep-b"));
+        assert!(!dot.contains("drop-c"));
+        assert!(dot.contains("1 -> 0"));
+        assert!(!dot.contains("2 -> 1"), "edge to excluded node dropped");
+    }
+
+    #[test]
+    fn sanitizes_graph_name() {
+        let g = ProvenanceGraph::new();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                name: "my graph!".to_owned(),
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.starts_with("digraph my_graph_ {"));
+    }
+}

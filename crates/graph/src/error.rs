@@ -1,0 +1,70 @@
+//! Error type for graph operations.
+
+use crate::ids::{EdgeId, NodeId};
+use core::fmt;
+
+/// Errors returned by [`ProvenanceGraph`](crate::ProvenanceGraph) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier did not name a node in this graph.
+    UnknownNode(NodeId),
+    /// An edge identifier did not name an edge in this graph.
+    UnknownEdge(EdgeId),
+    /// Adding the edge would have created a cycle, and the caller asked for
+    /// strict (non-versioning) insertion. Provenance is by definition
+    /// acyclic (§3.1).
+    WouldCycle {
+        /// The derived endpoint of the rejected edge.
+        src: NodeId,
+        /// The derivation-source endpoint of the rejected edge.
+        dst: NodeId,
+    },
+    /// A self-loop was requested; an object cannot derive from itself.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::UnknownEdge(id) => write!(f, "unknown edge {id}"),
+            GraphError::WouldCycle { src, dst } => {
+                write!(f, "edge {src} -> {dst} would create a provenance cycle")
+            }
+            GraphError::SelfLoop(id) => write!(f, "self-loop on {id} rejected"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let msgs = [
+            GraphError::UnknownNode(NodeId::new(1)).to_string(),
+            GraphError::UnknownEdge(EdgeId::new(2)).to_string(),
+            GraphError::WouldCycle {
+                src: NodeId::new(3),
+                dst: NodeId::new(4),
+            }
+            .to_string(),
+            GraphError::SelfLoop(NodeId::new(5)).to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+        assert!(msgs[2].contains("n3"));
+        assert!(msgs[2].contains("n4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(GraphError::SelfLoop(NodeId::new(0)));
+    }
+}

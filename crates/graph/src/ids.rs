@@ -1,0 +1,203 @@
+//! Identifier newtypes for graph entities.
+//!
+//! All graph entities are addressed by small, copyable, index-like
+//! identifiers. Newtypes keep node, edge, and version identifiers from being
+//! confused with one another at compile time (a real hazard in a store whose
+//! records interleave all three).
+
+use core::fmt;
+
+/// Identifier of a node in a [`ProvenanceGraph`](crate::ProvenanceGraph).
+///
+/// `NodeId`s are dense indexes assigned in insertion order and are never
+/// reused; this makes them usable as array indexes in algorithm scratch
+/// space (see [`crate::traverse`]).
+///
+/// # Examples
+///
+/// ```
+/// use bp_graph::NodeId;
+/// let id = NodeId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(format!("{id}"), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw dense index backing this identifier.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for direct slice indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of an edge in a [`ProvenanceGraph`](crate::ProvenanceGraph).
+///
+/// Like [`NodeId`], edge identifiers are dense insertion-ordered indexes.
+///
+/// # Examples
+///
+/// ```
+/// use bp_graph::EdgeId;
+/// assert_eq!(EdgeId::new(3).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge identifier from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the raw dense index backing this identifier.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for direct slice indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+/// Version number of a logical object (for example, the n-th visit instance
+/// of a page).
+///
+/// Section 3.1 of the paper breaks history cycles by *versioning*: a
+/// re-visit of an already-visited page creates a new version of that page's
+/// visit object rather than an edge back to the old one. `Version` counts
+/// those instances, starting from zero.
+///
+/// # Examples
+///
+/// ```
+/// use bp_graph::Version;
+/// let v = Version::FIRST;
+/// assert_eq!(v.next().number(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(u32);
+
+impl Version {
+    /// The first version of any object.
+    pub const FIRST: Version = Version(0);
+
+    /// Creates a version from a raw counter value.
+    #[inline]
+    pub const fn new(number: u32) -> Self {
+        Version(number)
+    }
+
+    /// Returns the raw version counter.
+    #[inline]
+    pub const fn number(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the successor version.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the 32-bit version counter; a browser history
+    /// cannot plausibly revisit one page four billion times.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_usize(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let id = EdgeId::new(9);
+        assert_eq!(id.index(), 9);
+        assert_eq!(EdgeId::from(9u32), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(100));
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        let set: HashSet<NodeId> = (0..10).map(NodeId::new).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn version_sequence() {
+        let v = Version::FIRST;
+        assert_eq!(v.number(), 0);
+        assert_eq!(v.next(), Version::new(1));
+        assert_eq!(v.next().next().number(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(EdgeId::new(4).to_string(), "e4");
+        assert_eq!(Version::new(5).to_string(), "v5");
+    }
+}

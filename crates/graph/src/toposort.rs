@@ -1,0 +1,116 @@
+//! Topological ordering and cycle detection.
+//!
+//! Provenance "by definition" is acyclic (§3.1); this module provides the
+//! checker the rest of the system uses to *prove* the invariant holds, plus
+//! a topological order used by factorized storage and by HITS seeding.
+
+use crate::graph::ProvenanceGraph;
+use crate::ids::NodeId;
+
+/// Computes a topological order of the graph, oldest-derivation first:
+/// every edge `src → dst` (src derives from dst) places `dst` before `src`.
+///
+/// Returns `None` if the graph contains a cycle (which
+/// [`ProvenanceGraph`] insertion rules should make impossible; a `None`
+/// here indicates a bug and is treated as such by callers).
+pub fn topological_order(graph: &ProvenanceGraph) -> Option<Vec<NodeId>> {
+    let n = graph.node_count();
+    // Kahn's algorithm over the derivation direction: in-degree here counts
+    // edges *out of* a node (its derivations), so sources of the order are
+    // nodes that derive from nothing.
+    let mut remaining_out: Vec<usize> = (0..n)
+        .map(|i| graph.out_degree(NodeId::new(i as u32)))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut ready: Vec<NodeId> = (0..n)
+        .filter(|&i| remaining_out[i] == 0)
+        .map(|i| NodeId::new(i as u32))
+        .collect();
+    while let Some(node) = ready.pop() {
+        order.push(node);
+        for (_, child) in graph.children(node) {
+            let slot = &mut remaining_out[child.as_usize()];
+            *slot -= 1;
+            if *slot == 0 {
+                ready.push(child);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Returns `true` if the graph contains a derivation cycle.
+pub fn has_cycle(graph: &ProvenanceGraph) -> bool {
+    topological_order(graph).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeKind;
+    use crate::node::{Node, NodeKind};
+    use crate::time::Timestamp;
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn chain(n: usize) -> ProvenanceGraph {
+        let mut g = ProvenanceGraph::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| g.add_node(Node::new(NodeKind::PageVisit, format!("u{i}"), t(i as i64))))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[1], w[0], EdgeKind::Link, t(1)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_orders_trivially() {
+        let g = ProvenanceGraph::new();
+        assert_eq!(topological_order(&g), Some(vec![]));
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn chain_orders_ancestor_first() {
+        let g = chain(5);
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 5);
+        let pos: Vec<usize> = (0..5)
+            .map(|i| order.iter().position(|&n| n.index() == i as u32).unwrap())
+            .collect();
+        for w in pos.windows(2) {
+            assert!(w[0] < w[1], "ancestors must precede descendants");
+        }
+    }
+
+    #[test]
+    fn diamond_orders_consistently() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.add_node(Node::new(NodeKind::PageVisit, "a", t(0)));
+        let b = g.add_node(Node::new(NodeKind::PageVisit, "b", t(1)));
+        let c = g.add_node(Node::new(NodeKind::PageVisit, "c", t(1)));
+        let d = g.add_node(Node::new(NodeKind::PageVisit, "d", t(2)));
+        g.add_edge(b, a, EdgeKind::Link, t(1)).unwrap();
+        g.add_edge(c, a, EdgeKind::NewTab, t(1)).unwrap();
+        g.add_edge(d, b, EdgeKind::Link, t(2)).unwrap();
+        g.add_edge(d, c, EdgeKind::TemporalOverlap, t(2)).unwrap();
+        let order = topological_order(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn disconnected_components_all_ordered() {
+        let mut g = chain(3);
+        let x = g.add_node(Node::new(NodeKind::Download, "x", t(9)));
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 4);
+        assert!(order.contains(&x));
+    }
+}

@@ -1,0 +1,585 @@
+//! The Firefox Places schema on the mini relational engine.
+//!
+//! §3 grounds the paper in "Mozilla Firefox 3 … [which] recently underwent
+//! a major revision of its history implementation" — the Places SQLite
+//! database. This module reproduces the Places tables the paper's schema
+//! was layered on, so experiment E1 can measure the provenance schema's
+//! overhead against the same baseline the paper used:
+//!
+//! - `moz_places` — one row per URL (url, title, visit_count, frecency);
+//! - `moz_historyvisits` — one row per visit (from_visit, place, date,
+//!   type) — Firefox's "time stamps as instances of link traversals";
+//! - `moz_bookmarks` — bookmark objects referencing places;
+//! - `moz_inputhistory` — location-bar autocomplete history;
+//! - `moz_annos` — annotations; Firefox 3 records downloads here.
+
+use crate::table::{Column, RowId, Table, TableError};
+use crate::value::Value;
+use bp_graph::Timestamp;
+
+/// Firefox visit-transition codes (`nsINavHistoryService`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transition {
+    /// The user followed a link (TRANSITION_LINK = 1).
+    Link = 1,
+    /// The user typed the URL (TRANSITION_TYPED = 2).
+    Typed = 2,
+    /// The user clicked a bookmark (TRANSITION_BOOKMARK = 3).
+    Bookmark = 3,
+    /// Embedded content load (TRANSITION_EMBED = 4).
+    Embed = 4,
+    /// Permanent redirect (TRANSITION_REDIRECT_PERMANENT = 5).
+    RedirectPermanent = 5,
+    /// Temporary redirect (TRANSITION_REDIRECT_TEMPORARY = 6).
+    RedirectTemporary = 6,
+    /// Download (TRANSITION_DOWNLOAD = 7).
+    Download = 7,
+    /// Link in a frame (TRANSITION_FRAMED_LINK = 8).
+    FramedLink = 8,
+    /// Reload (TRANSITION_RELOAD = 9).
+    Reload = 9,
+}
+
+/// The Places database.
+#[derive(Debug, Clone)]
+pub struct PlacesDb {
+    places: Table,
+    visits: Table,
+    bookmarks: Table,
+    input_history: Table,
+    annos: Table,
+}
+
+impl Default for PlacesDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlacesDb {
+    /// Creates an empty Places database with the Firefox 3 schema.
+    pub fn new() -> Self {
+        PlacesDb {
+            places: Table::new(
+                "moz_places",
+                vec![
+                    Column::unique("url"),
+                    Column::plain("title"),
+                    Column::plain("visit_count"),
+                    // Firefox indexes frecency; our history_search ranks by
+                    // scanning, and a non-unique index over the handful of
+                    // distinct frecency values degenerates (every visit
+                    // would rewrite a huge index bucket). Plain column.
+                    Column::plain("frecency"),
+                    Column::plain("last_visit_date"),
+                ],
+            ),
+            visits: Table::new(
+                "moz_historyvisits",
+                vec![
+                    Column::indexed("from_visit"),
+                    Column::indexed("place_id"),
+                    Column::indexed("visit_date"),
+                    Column::plain("visit_type"),
+                    Column::plain("session"),
+                ],
+            ),
+            bookmarks: Table::new(
+                "moz_bookmarks",
+                vec![
+                    Column::indexed("fk"), // place id
+                    Column::plain("type"),
+                    Column::plain("title"),
+                    Column::plain("date_added"),
+                ],
+            ),
+            input_history: Table::new(
+                "moz_inputhistory",
+                vec![
+                    Column::indexed("place_id"),
+                    Column::plain("input"),
+                    Column::plain("use_count"),
+                ],
+            ),
+            annos: Table::new(
+                "moz_annos",
+                vec![
+                    Column::indexed("place_id"),
+                    Column::plain("anno_name"),
+                    Column::plain("content"),
+                    Column::plain("date_added"),
+                ],
+            ),
+        }
+    }
+
+    /// Finds or creates the `moz_places` row for `url`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors (none expected in normal operation).
+    pub fn place_for_url(&mut self, url: &str) -> Result<RowId, TableError> {
+        if let Some(&id) = self.places.lookup("url", &url.into())?.first() {
+            return Ok(id);
+        }
+        self.places.insert(vec![
+            url.into(),
+            Value::Null,
+            Value::Int(0),
+            Value::Int(0),
+            Value::Null,
+        ])
+    }
+
+    /// Records one visit, updating the place's denormalized counters and
+    /// frecency, exactly the bookkeeping Places does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors.
+    pub fn record_visit(
+        &mut self,
+        url: &str,
+        at: Timestamp,
+        transition: Transition,
+        from_visit: Option<RowId>,
+        session: i64,
+    ) -> Result<RowId, TableError> {
+        let place = self.place_for_url(url)?;
+        let visit = self.visits.insert(vec![
+            Value::Int(from_visit.unwrap_or(0)),
+            Value::Int(place),
+            Value::Int(at.as_micros()),
+            Value::Int(transition as i64),
+            Value::Int(session),
+        ])?;
+        let count = self
+            .places
+            .cell(place, "visit_count")?
+            .as_int()
+            .unwrap_or(0)
+            + 1;
+        self.places
+            .update(place, "visit_count", Value::Int(count))?;
+        self.places
+            .update(place, "last_visit_date", Value::Int(at.as_micros()))?;
+        let frecency = compute_frecency(count, transition);
+        self.places
+            .update(place, "frecency", Value::Int(frecency))?;
+        Ok(visit)
+    }
+
+    /// Sets a page title.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors.
+    pub fn set_title(&mut self, url: &str, title: &str) -> Result<(), TableError> {
+        let place = self.place_for_url(url)?;
+        self.places.update(place, "title", title.into())
+    }
+
+    /// Adds a bookmark for `url`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors.
+    pub fn add_bookmark(
+        &mut self,
+        url: &str,
+        title: &str,
+        at: Timestamp,
+    ) -> Result<RowId, TableError> {
+        let place = self.place_for_url(url)?;
+        self.bookmarks.insert(vec![
+            Value::Int(place),
+            Value::Int(1), // TYPE_BOOKMARK
+            title.into(),
+            Value::Int(at.as_micros()),
+        ])
+    }
+
+    /// Records a location-bar input that led to `url` (autocomplete
+    /// training data — *not* a navigation relationship; §3.2's point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors.
+    pub fn record_input(&mut self, url: &str, input: &str) -> Result<(), TableError> {
+        let place = self.place_for_url(url)?;
+        let existing = self
+            .input_history
+            .lookup("place_id", &Value::Int(place))?
+            .to_vec();
+        for id in existing {
+            if self.input_history.cell(id, "input")?.as_text() == Some(input) {
+                let n = self
+                    .input_history
+                    .cell(id, "use_count")?
+                    .as_int()
+                    .unwrap_or(0);
+                return self
+                    .input_history
+                    .update(id, "use_count", Value::Int(n + 1));
+            }
+        }
+        self.input_history
+            .insert(vec![Value::Int(place), input.into(), Value::Int(1)])?;
+        Ok(())
+    }
+
+    /// Records a download annotation (Firefox 3 keeps download metadata in
+    /// `moz_annos`: destination path annotated onto the source URL's
+    /// place — "in many cases the URL is not informative", §2.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors.
+    pub fn record_download(
+        &mut self,
+        source_url: &str,
+        dest_path: &str,
+        at: Timestamp,
+    ) -> Result<RowId, TableError> {
+        let place = self.place_for_url(source_url)?;
+        self.annos.insert(vec![
+            Value::Int(place),
+            "downloads/destinationFileURI".into(),
+            dest_path.into(),
+            Value::Int(at.as_micros()),
+        ])
+    }
+
+    /// The "smart location bar" (the Firefox 3 feature the paper's
+    /// introduction opens with): ranks URL suggestions for a typed prefix.
+    /// Adaptive matches — inputs the user previously typed that led to a
+    /// place (`moz_inputhistory`) — rank first, weighted by use count;
+    /// substring matches over URL/title follow, ranked by frecency.
+    /// Returns up to `k` `(place row, url)` pairs.
+    pub fn autocomplete(&self, input: &str, k: usize) -> Vec<(RowId, String)> {
+        let needle = input.to_lowercase();
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        // Adaptive tier: previously typed inputs that start with this one.
+        let mut scored: Vec<(RowId, i64)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (_, row) in self.input_history.iter() {
+            let typed = row[1].as_text().unwrap_or("");
+            if typed.to_lowercase().starts_with(&needle) {
+                let place = row[0].as_int().unwrap_or(0);
+                let uses = row[2].as_int().unwrap_or(0);
+                if seen.insert(place) {
+                    // Adaptive results outrank any frecency score.
+                    scored.push((place, 1_000_000 + uses));
+                }
+            }
+        }
+        // Frecency tier: the ordinary history-search ranking.
+        for (place, frecency) in self.history_search(input) {
+            if seen.insert(place) {
+                scored.push((place, frecency));
+            }
+        }
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+            .into_iter()
+            .filter_map(|(place, _)| {
+                self.places
+                    .cell(place, "url")
+                    .ok()
+                    .and_then(|v| v.as_text())
+                    .map(|u| (place, u.to_owned()))
+            })
+            .collect()
+    }
+
+    /// Textual history search, Places-style: substring match against URL
+    /// and title, ranked by frecency. This is the §2.1 "currently" baseline
+    /// that misses *Citizen Kane* for the query `rosebud`.
+    pub fn history_search(&self, query: &str) -> Vec<(RowId, i64)> {
+        let needle = query.to_lowercase();
+        let mut hits: Vec<(RowId, i64)> = self
+            .places
+            .iter()
+            .filter(|(_, row)| {
+                let url = row[0].as_text().unwrap_or("").to_lowercase();
+                let title = row[1].as_text().unwrap_or("").to_lowercase();
+                needle
+                    .split_whitespace()
+                    .all(|w| url.contains(w) || title.contains(w))
+            })
+            .map(|(id, row)| (id, row[3].as_int().unwrap_or(0)))
+            .collect();
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits
+    }
+
+    /// URL of a place row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors.
+    pub fn url_of(&self, place: RowId) -> Result<&str, TableError> {
+        Ok(self.places.cell(place, "url")?.as_text().unwrap_or(""))
+    }
+
+    /// The `moz_places` table.
+    pub fn places(&self) -> &Table {
+        &self.places
+    }
+
+    /// The `moz_historyvisits` table.
+    pub fn visits(&self) -> &Table {
+        &self.visits
+    }
+
+    /// The `moz_bookmarks` table.
+    pub fn bookmarks(&self) -> &Table {
+        &self.bookmarks
+    }
+
+    /// The `moz_inputhistory` table.
+    pub fn input_history(&self) -> &Table {
+        &self.input_history
+    }
+
+    /// The `moz_annos` table.
+    pub fn annos(&self) -> &Table {
+        &self.annos
+    }
+
+    /// Total serialized size of all tables — the E1 baseline figure.
+    pub fn encoded_size(&self) -> usize {
+        self.places.encoded_size()
+            + self.visits.encoded_size()
+            + self.bookmarks.encoded_size()
+            + self.input_history.encoded_size()
+            + self.annos.encoded_size()
+    }
+}
+
+/// A simplified Firefox frecency: visit count weighted by transition type
+/// (typed and bookmarked visits score higher than embeds/redirects).
+fn compute_frecency(visit_count: i64, transition: Transition) -> i64 {
+    let bonus = match transition {
+        Transition::Typed => 2000,
+        Transition::Bookmark => 1750,
+        Transition::Link | Transition::FramedLink => 1000,
+        Transition::Download => 500,
+        Transition::Reload => 0,
+        Transition::Embed | Transition::RedirectPermanent | Transition::RedirectTemporary => 0,
+    };
+    visit_count * 100 + bonus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn visits_update_place_counters() {
+        let mut db = PlacesDb::new();
+        let v1 = db
+            .record_visit("http://a/", t(1), Transition::Typed, None, 1)
+            .unwrap();
+        let _v2 = db
+            .record_visit("http://a/", t(5), Transition::Link, Some(v1), 1)
+            .unwrap();
+        assert_eq!(db.places().len(), 1, "one place row per URL");
+        assert_eq!(db.visits().len(), 2);
+        let place = db.place_for_url("http://a/").unwrap();
+        assert_eq!(
+            db.places().cell(place, "visit_count").unwrap().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            db.places().cell(place, "last_visit_date").unwrap().as_int(),
+            Some(t(5).as_micros())
+        );
+    }
+
+    #[test]
+    fn from_visit_forms_referrer_chains() {
+        let mut db = PlacesDb::new();
+        let v1 = db
+            .record_visit("http://a/", t(1), Transition::Typed, None, 1)
+            .unwrap();
+        let v2 = db
+            .record_visit("http://b/", t(2), Transition::Link, Some(v1), 1)
+            .unwrap();
+        assert_eq!(
+            db.visits().cell(v2, "from_visit").unwrap().as_int(),
+            Some(v1)
+        );
+    }
+
+    #[test]
+    fn title_and_search() {
+        let mut db = PlacesDb::new();
+        db.record_visit("http://se/?q=rosebud", t(1), Transition::Typed, None, 1)
+            .unwrap();
+        db.set_title("http://se/?q=rosebud", "rosebud - Search")
+            .unwrap();
+        db.record_visit("http://films/kane", t(2), Transition::Link, Some(1), 1)
+            .unwrap();
+        db.set_title("http://films/kane", "Citizen Kane (1941)")
+            .unwrap();
+
+        // Textual search finds the search page (term in URL+title)...
+        let hits = db.history_search("rosebud");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(db.url_of(hits[0].0).unwrap(), "http://se/?q=rosebud");
+        // ...but NOT Citizen Kane — the §2.1 limitation this baseline
+        // exists to demonstrate.
+        assert!(db
+            .history_search("rosebud")
+            .iter()
+            .all(|(id, _)| db.url_of(*id).unwrap() != "http://films/kane"));
+        assert_eq!(db.history_search("kane")[0].0, 2);
+        assert!(db.history_search("absent").is_empty());
+    }
+
+    #[test]
+    fn multiword_search_requires_all_words() {
+        let mut db = PlacesDb::new();
+        db.record_visit("http://wine.example/napa", t(1), Transition::Link, None, 1)
+            .unwrap();
+        db.set_title("http://wine.example/napa", "Napa wine tours")
+            .unwrap();
+        assert_eq!(db.history_search("wine napa").len(), 1);
+        assert!(db.history_search("wine bordeaux").is_empty());
+    }
+
+    #[test]
+    fn frecency_ranks_typed_over_embed() {
+        let mut db = PlacesDb::new();
+        db.record_visit("http://typed/", t(1), Transition::Typed, None, 1)
+            .unwrap();
+        db.record_visit("http://embed/", t(2), Transition::Embed, None, 1)
+            .unwrap();
+        db.set_title("http://typed/", "shared word").unwrap();
+        db.set_title("http://embed/", "shared word").unwrap();
+        let hits = db.history_search("shared");
+        assert_eq!(db.url_of(hits[0].0).unwrap(), "http://typed/");
+    }
+
+    #[test]
+    fn bookmarks_and_annos() {
+        let mut db = PlacesDb::new();
+        db.record_visit("http://wiki/", t(1), Transition::Typed, None, 1)
+            .unwrap();
+        db.add_bookmark("http://wiki/", "Wiki", t(2)).unwrap();
+        assert_eq!(db.bookmarks().len(), 1);
+        db.record_download("http://host/f.zip", "/tmp/f.zip", t(3))
+            .unwrap();
+        assert_eq!(db.annos().len(), 1);
+        // The download's place row exists even if never visited.
+        assert_eq!(db.places().len(), 2);
+    }
+
+    #[test]
+    fn input_history_counts_uses() {
+        let mut db = PlacesDb::new();
+        db.record_input("http://wiki/", "wik").unwrap();
+        db.record_input("http://wiki/", "wik").unwrap();
+        db.record_input("http://wiki/", "wiki f").unwrap();
+        assert_eq!(db.input_history().len(), 2);
+        let ids = db
+            .input_history()
+            .lookup("place_id", &Value::Int(1))
+            .unwrap();
+        let counts: Vec<i64> = ids
+            .iter()
+            .map(|&id| {
+                db.input_history()
+                    .cell(id, "use_count")
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .collect();
+        assert!(counts.contains(&2));
+        assert!(counts.contains(&1));
+    }
+
+    #[test]
+    fn autocomplete_prefers_adaptive_matches() {
+        let mut db = PlacesDb::new();
+        // A heavily visited page never typed...
+        for i in 0..10 {
+            db.record_visit(
+                "http://popular.example/wiki",
+                t(i),
+                Transition::Link,
+                None,
+                1,
+            )
+            .unwrap();
+        }
+        db.set_title("http://popular.example/wiki", "wiki popular")
+            .unwrap();
+        // ...and a rarely visited page the user reaches by typing "wik".
+        db.record_visit(
+            "http://typed.example/wiki",
+            t(20),
+            Transition::Typed,
+            None,
+            1,
+        )
+        .unwrap();
+        db.set_title("http://typed.example/wiki", "wiki typed")
+            .unwrap();
+        db.record_input("http://typed.example/wiki", "wik").unwrap();
+        db.record_input("http://typed.example/wiki", "wik").unwrap();
+
+        let suggestions = db.autocomplete("wik", 5);
+        assert_eq!(suggestions.len(), 2);
+        assert_eq!(
+            suggestions[0].1, "http://typed.example/wiki",
+            "adaptive input history wins over raw frecency"
+        );
+        assert_eq!(suggestions[1].1, "http://popular.example/wiki");
+        // Longer prefixes still match the recorded input.
+        assert!(db
+            .autocomplete("wi", 5)
+            .iter()
+            .any(|(_, u)| u.contains("typed")));
+        // Unmatched prefixes fall back to frecency-only (or nothing).
+        assert!(db.autocomplete("zzz", 5).is_empty());
+        assert!(db.autocomplete("", 5).is_empty());
+    }
+
+    #[test]
+    fn autocomplete_respects_k() {
+        let mut db = PlacesDb::new();
+        for i in 0..10 {
+            db.record_visit(
+                &format!("http://site{i}.example/wiki"),
+                t(i),
+                Transition::Link,
+                None,
+                1,
+            )
+            .unwrap();
+        }
+        assert_eq!(db.autocomplete("wiki", 3).len(), 3);
+    }
+
+    #[test]
+    fn encoded_size_accumulates_across_tables() {
+        let mut db = PlacesDb::new();
+        assert_eq!(db.encoded_size(), 0);
+        db.record_visit("http://a/", t(1), Transition::Link, None, 1)
+            .unwrap();
+        let after_visit = db.encoded_size();
+        assert!(after_visit > 0);
+        db.add_bookmark("http://a/", "A", t(2)).unwrap();
+        assert!(db.encoded_size() > after_visit);
+    }
+}

@@ -1,0 +1,447 @@
+//! A minimal relational table with rowids and secondary indexes.
+//!
+//! Just enough of a relational engine to host the Firefox Places schema
+//! honestly: auto-increment rowids, typed columns, unique and non-unique
+//! secondary indexes on text/integer columns, and SQLite-style size
+//! accounting (per-row header byte per column + payload + per-row and
+//! per-index-entry overhead).
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Row identifier (SQLite rowid).
+pub type RowId = i64;
+
+/// A table column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    name: String,
+    indexed: bool,
+    unique: bool,
+}
+
+impl Column {
+    /// A plain column.
+    pub fn plain(name: &str) -> Self {
+        Column {
+            name: name.to_owned(),
+            indexed: false,
+            unique: false,
+        }
+    }
+
+    /// A column with a non-unique secondary index.
+    pub fn indexed(name: &str) -> Self {
+        Column {
+            name: name.to_owned(),
+            indexed: true,
+            unique: false,
+        }
+    }
+
+    /// A column with a unique index.
+    pub fn unique(name: &str) -> Self {
+        Column {
+            name: name.to_owned(),
+            indexed: true,
+            unique: true,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Index key: normalized projection of a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Key {
+    Null,
+    Int(i64),
+    Text(String),
+}
+
+fn key_of(v: &Value) -> Key {
+    match v {
+        Value::Null => Key::Null,
+        Value::Int(i) => Key::Int(*i),
+        Value::Real(r) => Key::Int(r.to_bits() as i64),
+        Value::Text(s) => Key::Text(s.clone()),
+        Value::Blob(b) => Key::Text(format!("{b:?}")),
+    }
+}
+
+/// Errors from table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Row arity didn't match the schema.
+    Arity {
+        /// Columns the schema defines.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A unique index rejected a duplicate key.
+    UniqueViolation {
+        /// The column whose index rejected the insert.
+        column: String,
+    },
+    /// No row with the given id.
+    NoSuchRow(RowId),
+    /// No column with the given name.
+    NoSuchColumn(String),
+}
+
+impl core::fmt::Display for TableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TableError::Arity { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            TableError::UniqueViolation { column } => {
+                write!(f, "unique constraint violated on column {column}")
+            }
+            TableError::NoSuchRow(id) => write!(f, "no row {id}"),
+            TableError::NoSuchColumn(name) => write!(f, "no column {name}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A table: rows keyed by rowid, plus secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_rowid: RowId,
+    /// column index → (key → rowids)
+    indexes: BTreeMap<usize, BTreeMap<Key, Vec<RowId>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, columns: Vec<Column>) -> Self {
+        let indexes = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.indexed)
+            .map(|(i, _)| (i, BTreeMap::new()))
+            .collect();
+        Table {
+            name: name.to_owned(),
+            columns,
+            rows: BTreeMap::new(),
+            next_rowid: 1,
+            indexes,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_index(&self, column: &str) -> Result<usize, TableError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == column)
+            .ok_or_else(|| TableError::NoSuchColumn(column.to_owned()))
+    }
+
+    /// Inserts a row, returning its rowid.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Arity`] on wrong column count,
+    /// [`TableError::UniqueViolation`] if a unique index rejects the row.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId, TableError> {
+        if values.len() != self.columns.len() {
+            return Err(TableError::Arity {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        // Check unique constraints first (no partial insert).
+        for (&col, index) in &self.indexes {
+            if self.columns[col].unique && !values[col].is_null() {
+                let key = key_of(&values[col]);
+                if index.get(&key).is_some_and(|ids| !ids.is_empty()) {
+                    return Err(TableError::UniqueViolation {
+                        column: self.columns[col].name.clone(),
+                    });
+                }
+            }
+        }
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(key_of(&values[col])).or_default().push(rowid);
+        }
+        self.rows.insert(rowid, values);
+        Ok(rowid)
+    }
+
+    /// Fetches a row by id.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::NoSuchRow`] if absent.
+    pub fn get(&self, rowid: RowId) -> Result<&[Value], TableError> {
+        self.rows
+            .get(&rowid)
+            .map(Vec::as_slice)
+            .ok_or(TableError::NoSuchRow(rowid))
+    }
+
+    /// Reads one cell.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::NoSuchRow`] / [`TableError::NoSuchColumn`].
+    pub fn cell(&self, rowid: RowId, column: &str) -> Result<&Value, TableError> {
+        let col = self.column_index(column)?;
+        Ok(&self.get(rowid)?[col])
+    }
+
+    /// Updates one cell, maintaining indexes.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::NoSuchRow`] / [`TableError::NoSuchColumn`], or
+    /// [`TableError::UniqueViolation`] if the new value collides.
+    pub fn update(&mut self, rowid: RowId, column: &str, value: Value) -> Result<(), TableError> {
+        let col = self.column_index(column)?;
+        if !self.rows.contains_key(&rowid) {
+            return Err(TableError::NoSuchRow(rowid));
+        }
+        if let Some(index) = self.indexes.get(&col) {
+            if self.columns[col].unique && !value.is_null() {
+                let key = key_of(&value);
+                if index
+                    .get(&key)
+                    .is_some_and(|ids| ids.iter().any(|&id| id != rowid))
+                {
+                    return Err(TableError::UniqueViolation {
+                        column: self.columns[col].name.clone(),
+                    });
+                }
+            }
+        }
+        let row = self.rows.get_mut(&rowid).expect("checked above");
+        let old_key = key_of(&row[col]);
+        let new_key = key_of(&value);
+        row[col] = value;
+        if let Some(index) = self.indexes.get_mut(&col) {
+            if let Some(ids) = index.get_mut(&old_key) {
+                ids.retain(|&id| id != rowid);
+            }
+            index.entry(new_key).or_default().push(rowid);
+        }
+        Ok(())
+    }
+
+    /// Looks up rowids by an indexed column's exact value.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::NoSuchColumn`] if the column is missing or unindexed.
+    pub fn lookup(&self, column: &str, value: &Value) -> Result<&[RowId], TableError> {
+        let col = self.column_index(column)?;
+        let index = self
+            .indexes
+            .get(&col)
+            .ok_or_else(|| TableError::NoSuchColumn(format!("{column} (unindexed)")))?;
+        Ok(index.get(&key_of(value)).map_or(&[], Vec::as_slice))
+    }
+
+    /// Full scan with a predicate; returns matching rowids in id order.
+    pub fn scan(&self, mut pred: impl FnMut(RowId, &[Value]) -> bool) -> Vec<RowId> {
+        self.rows
+            .iter()
+            .filter(|(id, row)| pred(**id, row))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Iterates `(rowid, row)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows.iter().map(|(id, row)| (*id, row.as_slice()))
+    }
+
+    /// SQLite-flavoured on-disk size estimate: per row, 2 bytes record
+    /// overhead + 1 header byte per column + payloads + rowid varint;
+    /// per index entry, key payload + rowid.
+    pub fn encoded_size(&self) -> usize {
+        let mut total = 0usize;
+        for row in self.rows.values() {
+            total += 2 + row.len(); // record + header bytes
+            total += 3; // rowid (histories exceed 2-byte ids quickly)
+            total += row.iter().map(Value::encoded_size).sum::<usize>();
+        }
+        for (&col, index) in &self.indexes {
+            let _ = col;
+            for (key, ids) in index {
+                let key_size = match key {
+                    Key::Null => 0,
+                    Key::Int(_) => 4,
+                    Key::Text(s) => s.len(),
+                };
+                total += ids.len() * (key_size + 3 + 2);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        Table::new(
+            "people",
+            vec![
+                Column::unique("name"),
+                Column::indexed("city"),
+                Column::plain("age"),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = people();
+        let id = t
+            .insert(vec!["ada".into(), "london".into(), Value::Int(36)])
+            .unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(t.get(id).unwrap()[0], Value::Text("ada".into()));
+        assert_eq!(t.cell(id, "age").unwrap().as_int(), Some(36));
+        assert_eq!(t.len(), 1);
+        assert!(t.get(99).is_err());
+        assert!(t.cell(1, "nope").is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = people();
+        assert_eq!(
+            t.insert(vec!["ada".into()]),
+            Err(TableError::Arity {
+                expected: 3,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut t = people();
+        t.insert(vec!["ada".into(), "london".into(), Value::Int(36)])
+            .unwrap();
+        let err = t
+            .insert(vec!["ada".into(), "paris".into(), Value::Int(20)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TableError::UniqueViolation {
+                column: "name".into()
+            }
+        );
+        assert_eq!(t.len(), 1, "no partial insert");
+    }
+
+    #[test]
+    fn nulls_bypass_unique() {
+        let mut t = people();
+        t.insert(vec![Value::Null, "x".into(), Value::Int(1)])
+            .unwrap();
+        t.insert(vec![Value::Null, "x".into(), Value::Int(2)])
+            .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn non_unique_index_accumulates() {
+        let mut t = people();
+        t.insert(vec!["ada".into(), "london".into(), Value::Int(36)])
+            .unwrap();
+        t.insert(vec!["alan".into(), "london".into(), Value::Int(41)])
+            .unwrap();
+        assert_eq!(t.lookup("city", &"london".into()).unwrap().len(), 2);
+        assert!(t.lookup("city", &"tokyo".into()).unwrap().is_empty());
+        assert!(t.lookup("age", &Value::Int(36)).is_err(), "unindexed");
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = people();
+        let id = t
+            .insert(vec!["ada".into(), "london".into(), Value::Int(36)])
+            .unwrap();
+        t.update(id, "city", "paris".into()).unwrap();
+        assert!(t.lookup("city", &"london".into()).unwrap().is_empty());
+        assert_eq!(t.lookup("city", &"paris".into()).unwrap(), &[id]);
+        // Unique collision on update.
+        let id2 = t
+            .insert(vec!["alan".into(), "york".into(), Value::Int(41)])
+            .unwrap();
+        assert!(t.update(id2, "name", "ada".into()).is_err());
+        // Self-update is fine.
+        t.update(id, "name", "ada".into()).unwrap();
+        assert!(t.update(99, "city", "x".into()).is_err());
+    }
+
+    #[test]
+    fn scan_and_iter() {
+        let mut t = people();
+        t.insert(vec!["a".into(), "x".into(), Value::Int(10)])
+            .unwrap();
+        t.insert(vec!["b".into(), "y".into(), Value::Int(20)])
+            .unwrap();
+        t.insert(vec!["c".into(), "z".into(), Value::Int(30)])
+            .unwrap();
+        let old = t.scan(|_, row| row[2].as_int().unwrap_or(0) >= 20);
+        assert_eq!(old, vec![2, 3]);
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn rowids_are_sequential_and_never_reused() {
+        let mut t = people();
+        let a = t
+            .insert(vec!["a".into(), "x".into(), Value::Int(1)])
+            .unwrap();
+        let b = t
+            .insert(vec!["b".into(), "x".into(), Value::Int(2)])
+            .unwrap();
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn encoded_size_grows_with_data() {
+        let mut t = people();
+        let empty = t.encoded_size();
+        assert_eq!(empty, 0);
+        t.insert(vec!["ada".into(), "london".into(), Value::Int(36)])
+            .unwrap();
+        let one = t.encoded_size();
+        assert!(one > 0);
+        t.insert(vec!["alan".into(), "york".into(), Value::Int(41)])
+            .unwrap();
+        assert!(t.encoded_size() > one);
+    }
+}

@@ -1,0 +1,176 @@
+//! Column values for the mini relational engine.
+//!
+//! Modeled on SQLite's storage classes (the paper's prototype and Firefox
+//! Places both sit on SQLite): NULL, INTEGER, REAL, TEXT, BLOB. Encoded
+//! sizes follow SQLite's serial-type rules closely enough for the E1
+//! storage accounting to be honest.
+
+use core::fmt;
+
+/// One column value.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Blob(Vec<u8>),
+}
+
+impl Value {
+    /// Encoded payload size in bytes, following SQLite's serial types:
+    /// integers use the smallest of 0/1/2/3/4/6/8 bytes, NULL is free,
+    /// text/blob cost their length.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(i) => int_size(*i),
+            Value::Real(_) => 8,
+            Value::Text(s) => s.len(),
+            Value::Blob(b) => b.len(),
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The text payload, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+fn int_size(i: i64) -> usize {
+    // SQLite serial types 0..6: 0, 1, 2, 3, 4, 6, 8 bytes.
+    if i == 0 {
+        0 // serial type 8/9 encode 0 and 1 in the header, but keep 0 cost
+    } else if (-128..128).contains(&i) {
+        1
+    } else if (-32_768..32_768).contains(&i) {
+        2
+    } else if (-8_388_608..8_388_608).contains(&i) {
+        3
+    } else if (-2_147_483_648..2_147_483_648).contains(&i) {
+        4
+    } else if (-140_737_488_355_328..140_737_488_355_328).contains(&i) {
+        6
+    } else {
+        8
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Blob(b) => write!(f, "x'{}'", b.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<Option<String>> for Value {
+    fn from(s: Option<String>) -> Self {
+        s.map_or(Value::Null, Value::Text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_sizes_follow_sqlite_tiers() {
+        assert_eq!(Value::Int(0).encoded_size(), 0);
+        assert_eq!(Value::Int(1).encoded_size(), 1);
+        assert_eq!(Value::Int(-128).encoded_size(), 1);
+        assert_eq!(Value::Int(128).encoded_size(), 2);
+        assert_eq!(Value::Int(40_000).encoded_size(), 3);
+        assert_eq!(Value::Int(10_000_000).encoded_size(), 4);
+        assert_eq!(Value::Int(1_000_000_000_000).encoded_size(), 6);
+        assert_eq!(Value::Int(i64::MAX).encoded_size(), 8);
+    }
+
+    #[test]
+    fn other_sizes() {
+        assert_eq!(Value::Null.encoded_size(), 0);
+        assert_eq!(Value::Real(1.5).encoded_size(), 8);
+        assert_eq!(Value::Text("abc".into()).encoded_size(), 3);
+        assert_eq!(Value::Blob(vec![0; 5]).encoded_size(), 5);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Text("x".into()).as_int(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::Text("a".into()));
+        assert_eq!(Value::from(None::<String>), Value::Null);
+        assert_eq!(Value::from(Some("t".to_owned())), Value::Text("t".into()));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for v in [
+            Value::Null,
+            Value::Int(1),
+            Value::Real(0.5),
+            Value::Text("s".into()),
+            Value::Blob(vec![1]),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! §2.1 — Contextual history search.
+//!
+//! "The algorithm performs a textual search and then reorders results by
+//! the relevance of their provenance neighbors" (Shah et al., via §2.1),
+//! implemented "as a graph neighborhood expansion algorithm, similar to
+//! web search algorithms such as Kleinberg's HITS" (§4). Textual hits seed
+//! a weighted neighborhood expansion; every reached node scores by a blend
+//! of its own textual relevance and the provenance context flowing into
+//! it. A page that never mentions "rosebud" but was *reached from* the
+//! rosebud search ranks — the Citizen Kane case.
+
+use crate::result::{QueryResult, ScoredHit};
+use bp_core::ProvenanceBrowser;
+use bp_graph::hits::{hits, HitsConfig};
+use bp_graph::neighborhood::{expand, ExpansionConfig};
+use bp_graph::traverse::Budget;
+use bp_graph::{NodeId, NodeKind};
+use std::time::Instant;
+
+/// Tuning for contextual history search.
+#[derive(Debug, Clone)]
+pub struct ContextualConfig {
+    /// Blend weight of the textual score.
+    pub text_weight: f64,
+    /// Blend weight of the provenance-context score.
+    pub context_weight: f64,
+    /// Neighborhood expansion parameters.
+    pub expansion: ExpansionConfig,
+    /// Traversal budget (deadline / node cap) — the paper's 200 ms bound.
+    pub budget: Budget,
+    /// Maximum hits returned.
+    pub max_results: usize,
+    /// Node kinds eligible as results (visits and downloads by default;
+    /// search terms and tab objects are context, not results).
+    pub result_kinds: Vec<NodeKind>,
+    /// Blend weight of HITS authority computed over the expansion's
+    /// reached set (§4's "similar to Kleinberg's HITS"): pages many
+    /// in-neighborhood journeys *arrived at* gain authority. 0.0 (the
+    /// default) disables the HITS pass.
+    pub hits_weight: f64,
+}
+
+impl Default for ContextualConfig {
+    fn default() -> Self {
+        ContextualConfig {
+            text_weight: 1.0,
+            context_weight: 1.5,
+            expansion: ExpansionConfig::default(),
+            budget: Budget::new(),
+            max_results: 25,
+            result_kinds: vec![NodeKind::PageVisit, NodeKind::Download, NodeKind::Bookmark],
+            hits_weight: 0.0,
+        }
+    }
+}
+
+/// Normalized textual seeds for a query: `(node, tfidf / max_tfidf)`.
+fn text_seeds(browser: &ProvenanceBrowser, query: &str) -> Vec<(NodeId, f64)> {
+    let text_hits = browser.text_index().search(query);
+    let max_text = text_hits.first().map_or(1.0, |(_, s)| *s).max(f64::EPSILON);
+    text_hits
+        .iter()
+        .map(|&(doc, score)| (NodeId::new(doc), score / max_text))
+        .collect()
+}
+
+/// Runs a contextual history search for `query`.
+///
+/// Scores combine normalized TF-IDF text relevance with accumulated
+/// neighborhood weight; hits are deduplicated by key (multiple visit
+/// versions of one URL collapse to the best-scoring instance), matching
+/// how a user reads history results.
+pub fn contextual_history_search(
+    browser: &ProvenanceBrowser,
+    query: &str,
+    config: &ContextualConfig,
+) -> QueryResult {
+    let start = Instant::now();
+    let graph = browser.graph();
+
+    // 1. Textual seeds.
+    let seeds = text_seeds(browser, query);
+
+    // 2. Neighborhood expansion from the seeds.
+    let expansion = expand(graph, &seeds, &config.expansion, &config.budget);
+
+    // 3. Optional HITS pass over the reached neighborhood (the "base
+    //    set" in Kleinberg's terms): authority flows to the pages the
+    //    user's journeys converged on.
+    let authority: std::collections::HashMap<NodeId, f64> = if config.hits_weight > 0.0 {
+        let mut base: Vec<NodeId> = expansion.weight.keys().copied().collect();
+        base.sort(); // deterministic member order → deterministic scores
+        hits(graph, &base, &HitsConfig::default()).authority
+    } else {
+        std::collections::HashMap::new()
+    };
+
+    // 4. Blend and collect.
+    let mut text_score: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
+    for &(n, s) in &seeds {
+        text_score.insert(n, s);
+    }
+    let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
+        std::collections::HashMap::new();
+    for (&node, &context) in expansion.weight.iter() {
+        let Ok(n) = graph.node(node) else { continue };
+        if !config.result_kinds.contains(&n.kind()) {
+            continue;
+        }
+        let text = text_score.get(&node).copied().unwrap_or(0.0);
+        let score = config.text_weight * text
+            + config.context_weight * context
+            + config.hits_weight * authority.get(&node).copied().unwrap_or(0.0);
+        let hit = ScoredHit {
+            node,
+            kind: n.kind(),
+            key: n.key().to_owned(),
+            title: n.attrs().get_str("title").map(str::to_owned),
+            score,
+            text_score: text,
+            context_score: context,
+        };
+        match best_by_key.get_mut(n.key()) {
+            Some(existing) if existing.score >= score => {}
+            _ => {
+                best_by_key.insert(n.key().to_owned(), hit);
+            }
+        }
+    }
+    let mut hits: Vec<ScoredHit> = best_by_key.into_values().collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    hits.truncate(config.max_results);
+    QueryResult {
+        hits,
+        elapsed: start.elapsed(),
+        truncated: expansion.truncated,
+    }
+}
+
+/// Contextual history search with **personalized PageRank** as the context
+/// signal instead of one-shot neighborhood expansion — the §4 future-work
+/// direction ("more intelligent algorithms"). Relevance mass circulates to
+/// a fixed point, so multi-path connectivity counts; compared against the
+/// expansion variant in the A5 ablation.
+pub fn contextual_history_search_ppr(
+    browser: &ProvenanceBrowser,
+    query: &str,
+    config: &ContextualConfig,
+    pagerank: &bp_graph::pagerank::PageRankConfig,
+) -> QueryResult {
+    let start = Instant::now();
+    let graph = browser.graph();
+    let seeds = text_seeds(browser, query);
+    let scores = bp_graph::pagerank::personalized_pagerank(graph, &seeds, pagerank);
+    // Rescale so the context component is comparable to the expansion
+    // variant (top score ≈ 1).
+    let max = scores
+        .ranked()
+        .first()
+        .map_or(1.0, |(_, s)| *s)
+        .max(f64::EPSILON);
+
+    let mut text_score: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
+    for &(n, s) in &seeds {
+        text_score.insert(n, s);
+    }
+    let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
+        std::collections::HashMap::new();
+    for (node, raw) in scores.score {
+        let Ok(n) = graph.node(node) else { continue };
+        if !config.result_kinds.contains(&n.kind()) {
+            continue;
+        }
+        let context = raw / max;
+        let text = text_score.get(&node).copied().unwrap_or(0.0);
+        let score = config.text_weight * text + config.context_weight * context;
+        let hit = ScoredHit {
+            node,
+            kind: n.kind(),
+            key: n.key().to_owned(),
+            title: n.attrs().get_str("title").map(str::to_owned),
+            score,
+            text_score: text,
+            context_score: context,
+        };
+        match best_by_key.get_mut(n.key()) {
+            Some(existing) if existing.score >= score => {}
+            _ => {
+                best_by_key.insert(n.key().to_owned(), hit);
+            }
+        }
+    }
+    let mut hits: Vec<ScoredHit> = best_by_key.into_values().collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    hits.truncate(config.max_results);
+    QueryResult {
+        hits,
+        elapsed: start.elapsed(),
+        truncated: false,
+    }
+}
+
+/// The purely textual baseline (§2.1's "currently"): TF-IDF hits only, no
+/// provenance. Used by experiment E4 to show what contextual search adds.
+pub fn textual_history_search(
+    browser: &ProvenanceBrowser,
+    query: &str,
+    config: &ContextualConfig,
+) -> QueryResult {
+    let start = Instant::now();
+    let graph = browser.graph();
+    let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
+        std::collections::HashMap::new();
+    for (doc, score) in browser.text_index().search(query) {
+        let node = NodeId::new(doc);
+        let Ok(n) = graph.node(node) else { continue };
+        if !config.result_kinds.contains(&n.kind()) {
+            continue;
+        }
+        let hit = ScoredHit {
+            node,
+            kind: n.kind(),
+            key: n.key().to_owned(),
+            title: n.attrs().get_str("title").map(str::to_owned),
+            score,
+            text_score: score,
+            context_score: 0.0,
+        };
+        match best_by_key.get_mut(n.key()) {
+            Some(existing) if existing.score >= score => {}
+            _ => {
+                best_by_key.insert(n.key().to_owned(), hit);
+            }
+        }
+    }
+    let mut hits: Vec<ScoredHit> = best_by_key.into_values().collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    hits.truncate(config.max_results);
+    QueryResult {
+        hits,
+        elapsed: start.elapsed(),
+        truncated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{BrowserEvent, CaptureConfig, NavigationCause, TabId};
+    use bp_graph::Timestamp;
+    use std::path::PathBuf;
+
+    struct TempBrowser {
+        browser: ProvenanceBrowser,
+        dir: PathBuf,
+    }
+    impl TempBrowser {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "bp-query-ctx-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempBrowser {
+                browser: ProvenanceBrowser::open(&dir, CaptureConfig::default()).unwrap(),
+                dir,
+            }
+        }
+    }
+    impl Drop for TempBrowser {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    /// The §2.1 history: search rosebud → click Citizen Kane (whose text
+    /// has no "rosebud"), plus an unrelated page.
+    fn rosebud_history(tag: &str) -> TempBrowser {
+        let mut tb = TempBrowser::new(tag);
+        let b = &mut tb.browser;
+        b.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))
+            .unwrap();
+        b.ingest(&BrowserEvent::navigate(
+            t(1),
+            TabId(0),
+            "http://se/?q=rosebud",
+            Some("rosebud - Search"),
+            NavigationCause::SearchQuery {
+                query: "rosebud".to_owned(),
+            },
+        ))
+        .unwrap();
+        b.ingest(&BrowserEvent::navigate(
+            t(2),
+            TabId(0),
+            "http://films/kane",
+            Some("Citizen Kane (1941)"),
+            NavigationCause::Link,
+        ))
+        .unwrap();
+        b.ingest(&BrowserEvent::navigate(
+            t(3),
+            TabId(0),
+            "http://unrelated/cooking",
+            Some("Pasta recipes"),
+            NavigationCause::Typed,
+        ))
+        .unwrap();
+        tb
+    }
+
+    #[test]
+    fn textual_baseline_misses_citizen_kane() {
+        let tb = rosebud_history("baseline");
+        let r = textual_history_search(&tb.browser, "rosebud", &ContextualConfig::default());
+        assert!(r.contains_key("http://se/?q=rosebud"));
+        assert!(
+            !r.contains_key("http://films/kane"),
+            "the §2.1 'currently' failure: {:?}",
+            r.top_keys(5)
+        );
+    }
+
+    #[test]
+    fn contextual_search_returns_citizen_kane() {
+        let tb = rosebud_history("contextual");
+        let r = contextual_history_search(&tb.browser, "rosebud", &ContextualConfig::default());
+        assert!(
+            r.contains_key("http://films/kane"),
+            "contextual search must surface the descendant: {:?}",
+            r.top_keys(10)
+        );
+        // The unrelated page (two weak hops away) never outranks kane.
+        let kane_rank = r.rank_of_key("http://films/kane").unwrap();
+        if let Some(cooking_rank) = r.rank_of_key("http://unrelated/cooking") {
+            assert!(
+                kane_rank < cooking_rank,
+                "decay must demote distant context"
+            );
+        }
+        // The kane hit is contextual, not textual.
+        let kane = &r.hits[r.rank_of_key("http://films/kane").unwrap()];
+        assert_eq!(kane.text_score, 0.0);
+        assert!(kane.context_score > 0.0);
+    }
+
+    #[test]
+    fn seeds_outrank_distant_context_by_default() {
+        let tb = rosebud_history("ranks");
+        let r = contextual_history_search(&tb.browser, "rosebud", &ContextualConfig::default());
+        let search_rank = r.rank_of_key("http://se/?q=rosebud").unwrap();
+        assert_eq!(search_rank, 0, "the direct textual hit stays on top");
+    }
+
+    #[test]
+    fn duplicate_visits_collapse_by_key() {
+        let mut tb = rosebud_history("dedup");
+        let b = &mut tb.browser;
+        // Revisit kane twice more.
+        for s in 4..6 {
+            b.ingest(&BrowserEvent::navigate(
+                t(s),
+                TabId(0),
+                "http://films/kane",
+                Some("Citizen Kane (1941)"),
+                NavigationCause::BackForward,
+            ))
+            .unwrap();
+        }
+        let r = contextual_history_search(b, "kane", &ContextualConfig::default());
+        let kane_hits = r
+            .hits
+            .iter()
+            .filter(|h| h.key == "http://films/kane")
+            .count();
+        assert_eq!(kane_hits, 1, "one hit per URL: {:?}", r.top_keys(10));
+    }
+
+    #[test]
+    fn empty_and_unknown_queries() {
+        let tb = rosebud_history("empty");
+        let r = contextual_history_search(&tb.browser, "", &ContextualConfig::default());
+        assert!(r.hits.is_empty());
+        let r =
+            contextual_history_search(&tb.browser, "zzz never seen", &ContextualConfig::default());
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn max_results_respected() {
+        let mut tb = TempBrowser::new("limit");
+        let b = &mut tb.browser;
+        b.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))
+            .unwrap();
+        for i in 0..30 {
+            b.ingest(&BrowserEvent::navigate(
+                t(i + 1),
+                TabId(0),
+                format!("http://wine{i}.example/"),
+                Some("wine page"),
+                NavigationCause::Link,
+            ))
+            .unwrap();
+        }
+        let config = ContextualConfig {
+            max_results: 5,
+            ..ContextualConfig::default()
+        };
+        let r = contextual_history_search(b, "wine", &config);
+        assert_eq!(r.hits.len(), 5);
+    }
+
+    #[test]
+    fn zero_deadline_reports_truncation() {
+        let tb = rosebud_history("deadline");
+        let config = ContextualConfig {
+            budget: Budget::new().with_deadline(std::time::Duration::ZERO),
+            ..ContextualConfig::default()
+        };
+        let r = contextual_history_search(&tb.browser, "rosebud", &config);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn ppr_variant_finds_citizen_kane_too() {
+        let tb = rosebud_history("ppr");
+        let r = contextual_history_search_ppr(
+            &tb.browser,
+            "rosebud",
+            &ContextualConfig::default(),
+            &bp_graph::pagerank::PageRankConfig::default(),
+        );
+        assert!(
+            r.contains_key("http://films/kane"),
+            "PPR context must surface the descendant: {:?}",
+            r.top_keys(10)
+        );
+        for pair in r.hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        // Empty query behaves.
+        let empty = contextual_history_search_ppr(
+            &tb.browser,
+            "",
+            &ContextualConfig::default(),
+            &bp_graph::pagerank::PageRankConfig::default(),
+        );
+        assert!(empty.hits.is_empty());
+    }
+
+    #[test]
+    fn hits_blend_boosts_convergence_points() {
+        // Many distinct wine journeys all arrive at one canonical page;
+        // with the HITS blend on, that page outranks its textual peers.
+        let mut tb = TempBrowser::new("hits");
+        let b = &mut tb.browser;
+        b.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))
+            .unwrap();
+        let hub = "http://wine-canonical.example/";
+        let mut clock = 1;
+        for i in 0..6 {
+            b.ingest(&BrowserEvent::navigate(
+                t(clock),
+                TabId(0),
+                format!("http://wine{i}.example/list"),
+                Some("wine list"),
+                NavigationCause::Typed,
+            ))
+            .unwrap();
+            clock += 1;
+            b.ingest(&BrowserEvent::navigate(
+                t(clock),
+                TabId(0),
+                hub,
+                Some("wine canonical"),
+                NavigationCause::Link,
+            ))
+            .unwrap();
+            clock += 1;
+        }
+        let flat = contextual_history_search(b, "wine", &ContextualConfig::default());
+        let blended = contextual_history_search(
+            b,
+            "wine",
+            &ContextualConfig {
+                hits_weight: 3.0,
+                ..ContextualConfig::default()
+            },
+        );
+        let flat_rank = flat.rank_of_key(hub).expect("hub present");
+        let blended_rank = blended.rank_of_key(hub).expect("hub present");
+        assert!(
+            blended_rank <= flat_rank,
+            "HITS must not demote the convergence point ({blended_rank} vs {flat_rank})"
+        );
+        assert_eq!(
+            blended_rank,
+            0,
+            "hub is the authority: {:?}",
+            blended.top_keys(5)
+        );
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let tb = rosebud_history("sorted");
+        let r =
+            contextual_history_search(&tb.browser, "rosebud search", &ContextualConfig::default());
+        for pair in r.hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+}

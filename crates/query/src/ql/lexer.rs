@@ -1,0 +1,228 @@
+//! Tokenizer for the provenance query language.
+
+use core::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare word: keywords and identifiers (`ancestors`, `type`, …).
+    Ident(String),
+    /// Integer literal.
+    Number(u64),
+    /// Quoted string literal (single or double quotes).
+    Str(String),
+    /// `#` (node-id selector sigil).
+    Hash,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Eq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Hash => write!(f, "#"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+        }
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings or unexpected characters.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                tokens.push(Token::Hash);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError {
+                                at: start,
+                                message: "unterminated string".to_owned(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut n = 0u64;
+                while let Some(d) = bytes.get(i).and_then(|c| c.to_digit(10)) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d)))
+                        .ok_or(LexError {
+                            at: start,
+                            message: "number too large".to_owned(),
+                        })?;
+                    i += 1;
+                }
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&ch) = bytes.get(i) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => {
+                return Err(LexError {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let tokens = lex("ancestors(#42) where type = download and visits >= 3 limit 10").unwrap();
+        assert_eq!(tokens[0], Token::Ident("ancestors".into()));
+        assert_eq!(tokens[1], Token::LParen);
+        assert_eq!(tokens[2], Token::Hash);
+        assert_eq!(tokens[3], Token::Number(42));
+        assert!(tokens.contains(&Token::Ge));
+        assert_eq!(tokens.last(), Some(&Token::Number(10)));
+    }
+
+    #[test]
+    fn strings_with_both_quote_styles() {
+        assert_eq!(
+            lex("url = \"http://a/\"").unwrap()[2],
+            Token::Str("http://a/".into())
+        );
+        assert_eq!(lex("url = 'x y'").unwrap()[2], Token::Str("x y".into()));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex(">= > <= < =").unwrap(),
+            vec![Token::Ge, Token::Gt, Token::Le, Token::Lt, Token::Eq]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \t\n ").unwrap().is_empty());
+    }
+}

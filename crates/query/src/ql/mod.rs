@@ -1,0 +1,25 @@
+//! A small query language for the provenance store.
+//!
+//! §2.4 frames lineage questions as *path queries* over the provenance
+//! graph. This module gives them concrete syntax:
+//!
+//! ```text
+//! descendants(url = "http://bad/") where type = download
+//! ancestors(#42) where type = visit and visits >= 3 limit 1
+//! overlapping(latest("http://wine/")) where key contains "ticket"
+//! nodes where type = search_term
+//! path(#42, latest("http://forum/"))
+//! ```
+//!
+//! [`parse`] builds the [`ast`], [`execute`]/[`run`] evaluate it against a
+//! [`bp_core::ProvenanceBrowser`] under a traversal [`bp_graph::traverse::Budget`].
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Cmp, Filter, Query, Selector, Shape};
+pub use exec::{execute, run, ExecError, Row, Rows};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,303 @@
+//! Recursive-descent parser for the provenance query language.
+//!
+//! ```text
+//! query    := shape where? limit?
+//! shape    := ("ancestors" | "descendants" | "overlapping") "(" selector ")"
+//!           | "path" "(" selector "," selector ")"
+//!           | "nodes"
+//! selector := "#" NUMBER
+//!           | ("key" | "url") "=" STRING
+//!           | "latest" "(" STRING ")"
+//! where    := "where" pred ("and" pred)*
+//! pred     := "type" "=" IDENT
+//!           | "key" "contains" STRING
+//!           | "visits" cmp NUMBER
+//!           | "depth" "<=" NUMBER
+//! limit    := "limit" NUMBER
+//! ```
+
+use super::ast::{Cmp, Filter, Query, Selector, Shape};
+use super::lexer::{lex, Token};
+use bp_graph::NodeKind;
+use core::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t == expected => Ok(()),
+            Some(t) => Err(ParseError::new(format!("expected {expected}, found {t}"))),
+            None => Err(ParseError::new(format!("expected {expected}, found end"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError::new(format!("expected identifier, found {t}"))),
+            None => Err(ParseError::new("expected identifier, found end")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            Some(t) => Err(ParseError::new(format!("expected string, found {t}"))),
+            None => Err(ParseError::new("expected string, found end")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            Some(t) => Err(ParseError::new(format!("expected number, found {t}"))),
+            None => Err(ParseError::new("expected number, found end")),
+        }
+    }
+
+    fn selector(&mut self) -> Result<Selector, ParseError> {
+        match self.next() {
+            Some(Token::Hash) => {
+                let n = self.number()?;
+                let id = u32::try_from(n).map_err(|_| ParseError::new("node id exceeds u32"))?;
+                Ok(Selector::Id(id))
+            }
+            Some(Token::Ident(word)) if word == "key" || word == "url" => {
+                self.expect(&Token::Eq)?;
+                Ok(Selector::Key(self.string()?))
+            }
+            Some(Token::Ident(word)) if word == "latest" => {
+                self.expect(&Token::LParen)?;
+                let url = self.string()?;
+                self.expect(&Token::RParen)?;
+                Ok(Selector::LatestVisit(url))
+            }
+            Some(t) => Err(ParseError::new(format!("expected selector, found {t}"))),
+            None => Err(ParseError::new("expected selector, found end")),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Cmp, ParseError> {
+        match self.next() {
+            Some(Token::Eq) => Ok(Cmp::Eq),
+            Some(Token::Gt) => Ok(Cmp::Gt),
+            Some(Token::Ge) => Ok(Cmp::Ge),
+            Some(Token::Lt) => Ok(Cmp::Lt),
+            Some(Token::Le) => Ok(Cmp::Le),
+            Some(t) => Err(ParseError::new(format!("expected comparison, found {t}"))),
+            None => Err(ParseError::new("expected comparison, found end")),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Filter, ParseError> {
+        let field = self.ident()?;
+        match field.as_str() {
+            "type" => {
+                self.expect(&Token::Eq)?;
+                let name = self.ident()?;
+                let kind = NodeKind::from_label(&name)
+                    .ok_or_else(|| ParseError::new(format!("unknown node type {name}")))?;
+                Ok(Filter::Kind(kind))
+            }
+            "key" | "url" => {
+                let word = self.ident()?;
+                if word != "contains" {
+                    return Err(ParseError::new(format!(
+                        "expected 'contains' after key, found {word}"
+                    )));
+                }
+                Ok(Filter::KeyContains(self.string()?))
+            }
+            "visits" => {
+                let cmp = self.cmp()?;
+                let n = self.number()?;
+                let n = u32::try_from(n).map_err(|_| ParseError::new("visit count exceeds u32"))?;
+                Ok(Filter::Visits(cmp, n))
+            }
+            "depth" => {
+                self.expect(&Token::Le)?;
+                let n = self.number()? as usize;
+                Ok(Filter::DepthLe(n))
+            }
+            other => Err(ParseError::new(format!("unknown predicate field {other}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let verb = self.ident()?;
+        let shape = match verb.as_str() {
+            "ancestors" | "descendants" | "overlapping" => {
+                self.expect(&Token::LParen)?;
+                let sel = self.selector()?;
+                self.expect(&Token::RParen)?;
+                match verb.as_str() {
+                    "ancestors" => Shape::Ancestors(sel),
+                    "descendants" => Shape::Descendants(sel),
+                    _ => Shape::Overlapping(sel),
+                }
+            }
+            "path" => {
+                self.expect(&Token::LParen)?;
+                let a = self.selector()?;
+                self.expect(&Token::Comma)?;
+                let b = self.selector()?;
+                self.expect(&Token::RParen)?;
+                Shape::Path(a, b)
+            }
+            "nodes" => Shape::Nodes,
+            other => return Err(ParseError::new(format!("unknown query verb {other}"))),
+        };
+        let mut filters = Vec::new();
+        let mut limit = None;
+        while let Some(token) = self.peek() {
+            match token {
+                Token::Ident(w) if w == "where" => {
+                    self.next();
+                    filters.push(self.predicate()?);
+                    while matches!(self.peek(), Some(Token::Ident(w)) if w == "and") {
+                        self.next();
+                        filters.push(self.predicate()?);
+                    }
+                }
+                Token::Ident(w) if w == "limit" => {
+                    self.next();
+                    limit = Some(self.number()? as usize);
+                }
+                t => return Err(ParseError::new(format!("unexpected trailing token {t}"))),
+            }
+        }
+        Ok(Query {
+            shape,
+            filters,
+            limit,
+        })
+    }
+}
+
+/// Parses a query string.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for lexical or syntactic problems.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError::new(e.to_string()))?;
+    if tokens.is_empty() {
+        return Err(ParseError::new("empty query"));
+    }
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_queries() {
+        // "Find all descendants of this page that are downloads" (§2.4).
+        let q = parse("descendants(url = \"http://bad/\") where type = download").unwrap();
+        assert_eq!(
+            q.shape,
+            Shape::Descendants(Selector::Key("http://bad/".into()))
+        );
+        assert_eq!(q.filters, vec![Filter::Kind(NodeKind::Download)]);
+
+        // "Find the first ancestor of this file that the user is likely
+        // to recognize" — expressed as a visit-count filter + limit 1.
+        let q = parse("ancestors(#42) where type = visit and visits >= 3 limit 1").unwrap();
+        assert_eq!(q.shape, Shape::Ancestors(Selector::Id(42)));
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.limit, Some(1));
+    }
+
+    #[test]
+    fn parses_all_shapes() {
+        assert!(matches!(parse("nodes").unwrap().shape, Shape::Nodes));
+        assert!(matches!(
+            parse("overlapping(latest('http://a/'))").unwrap().shape,
+            Shape::Overlapping(Selector::LatestVisit(_))
+        ));
+        assert!(matches!(
+            parse("path(#1, #2)").unwrap().shape,
+            Shape::Path(Selector::Id(1), Selector::Id(2))
+        ));
+    }
+
+    #[test]
+    fn parses_all_predicates() {
+        let q = parse(
+            "nodes where type = bookmark and key contains \"wine\" and visits > 2 and depth <= 3",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 4);
+        assert!(matches!(q.filters[1], Filter::KeyContains(ref s) if s == "wine"));
+        assert!(matches!(q.filters[2], Filter::Visits(Cmp::Gt, 2)));
+        assert!(matches!(q.filters[3], Filter::DepthLe(3)));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "frobnicate(#1)",
+            "ancestors #1",
+            "ancestors(#1) where",
+            "ancestors(#1) where type = spaceship",
+            "ancestors(#1) where key likes \"x\"",
+            "nodes limit",
+            "ancestors(#1) garbage",
+            "path(#1)",
+            "ancestors(#99999999999)",
+            "nodes where depth > 3", // depth only supports <=
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn url_and_key_are_synonyms() {
+        assert_eq!(
+            parse("ancestors(url = 'x')").unwrap().shape,
+            parse("ancestors(key = 'x')").unwrap().shape
+        );
+    }
+}

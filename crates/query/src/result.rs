@@ -1,0 +1,83 @@
+//! Shared result types for history queries.
+
+use bp_graph::{NodeId, NodeKind};
+use std::time::Duration;
+
+/// One scored history object returned by a search query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredHit {
+    /// The node.
+    pub node: NodeId,
+    /// Its kind.
+    pub kind: NodeKind,
+    /// Its primary key (URL, query, path).
+    pub key: String,
+    /// Its title, when present.
+    pub title: Option<String>,
+    /// Final ranking score (higher is better).
+    pub score: f64,
+    /// Textual component of the score (0 when the hit is purely
+    /// contextual — the §2.1 "Citizen Kane" case).
+    pub text_score: f64,
+    /// Provenance-context component of the score.
+    pub context_score: f64,
+}
+
+/// A ranked result list plus execution metadata.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Hits, best first.
+    pub hits: Vec<ScoredHit>,
+    /// Wall-clock the query took.
+    pub elapsed: Duration,
+    /// `true` if a deadline or budget truncated the work (the paper's
+    /// "can be bound to that time" escape hatch).
+    pub truncated: bool,
+}
+
+impl QueryResult {
+    /// Position (0-based) of the first hit whose key equals `key`.
+    pub fn rank_of_key(&self, key: &str) -> Option<usize> {
+        self.hits.iter().position(|h| h.key == key)
+    }
+
+    /// `true` if some hit's key equals `key`.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.rank_of_key(key).is_some()
+    }
+
+    /// The top `k` keys, for display.
+    pub fn top_keys(&self, k: usize) -> Vec<&str> {
+        self.hits.iter().take(k).map(|h| h.key.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(key: &str, score: f64) -> ScoredHit {
+        ScoredHit {
+            node: NodeId::new(0),
+            kind: NodeKind::PageVisit,
+            key: key.to_owned(),
+            title: None,
+            score,
+            text_score: score,
+            context_score: 0.0,
+        }
+    }
+
+    #[test]
+    fn rank_lookup() {
+        let r = QueryResult {
+            hits: vec![hit("a", 2.0), hit("b", 1.0)],
+            elapsed: Duration::ZERO,
+            truncated: false,
+        };
+        assert_eq!(r.rank_of_key("b"), Some(1));
+        assert_eq!(r.rank_of_key("c"), None);
+        assert!(r.contains_key("a"));
+        assert_eq!(r.top_keys(1), vec!["a"]);
+    }
+}

@@ -1,0 +1,329 @@
+//! §2.3 — Time-contextual history search.
+//!
+//! "A history search for 'wine associated with plane tickets' is both
+//! natural to the user and likely to return the desired result" (§2.3).
+//! The query has two parts: a *subject* ("wine") and a *companion
+//! context* ("plane tickets") the user remembers being engaged in at the
+//! time. Subject hits are kept only if their open interval overlaps (or
+//! nearly overlaps) a companion hit's interval — using the §3.2 close
+//! records and temporal-overlap edges that this system captures and
+//! Firefox does not.
+
+use crate::result::{QueryResult, ScoredHit};
+use bp_core::ProvenanceBrowser;
+use bp_graph::{EdgeKind, NodeId, NodeKind, TimeInterval};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Tuning for time-contextual search.
+#[derive(Debug, Clone)]
+pub struct TimeContextConfig {
+    /// How far apart two intervals may be and still count as "at the same
+    /// time" (the user's memory is fuzzy; default 30 minutes).
+    pub gap: Duration,
+    /// Maximum hits returned.
+    pub max_results: usize,
+    /// Node kinds eligible as subject results.
+    pub result_kinds: Vec<NodeKind>,
+    /// Weight multiplier when the association is an explicit
+    /// temporal-overlap edge rather than interval arithmetic.
+    pub edge_bonus: f64,
+}
+
+impl Default for TimeContextConfig {
+    fn default() -> Self {
+        TimeContextConfig {
+            gap: Duration::from_secs(30 * 60),
+            max_results: 25,
+            result_kinds: vec![NodeKind::PageVisit, NodeKind::Download],
+            edge_bonus: 1.5,
+        }
+    }
+}
+
+/// Finds history objects matching `subject` that were open at (about) the
+/// same time as objects matching `companion`.
+pub fn time_contextual_search(
+    browser: &ProvenanceBrowser,
+    subject: &str,
+    companion: &str,
+    config: &TimeContextConfig,
+) -> QueryResult {
+    let start = Instant::now();
+    let graph = browser.graph();
+
+    let subject_hits = browser.text_index().search(subject);
+    let companion_nodes: HashSet<NodeId> = browser
+        .text_index()
+        .search(companion)
+        .into_iter()
+        .map(|(doc, _)| NodeId::new(doc))
+        .collect();
+    if companion_nodes.is_empty() || subject_hits.is_empty() {
+        return QueryResult {
+            hits: Vec::new(),
+            elapsed: start.elapsed(),
+            truncated: false,
+        };
+    }
+    let companion_intervals: Vec<TimeInterval> = companion_nodes
+        .iter()
+        .filter_map(|&n| graph.node(n).ok().map(|node| *node.interval()))
+        .collect();
+
+    let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
+        std::collections::HashMap::new();
+    for (doc, text_score) in subject_hits {
+        let node = NodeId::new(doc);
+        let Ok(n) = graph.node(node) else { continue };
+        if !config.result_kinds.contains(&n.kind()) {
+            continue;
+        }
+        // Association channel 1: interval arithmetic via close records.
+        let interval_match = companion_intervals
+            .iter()
+            .any(|c| n.interval().within(c, config.gap));
+        // Association channel 2: an explicit temporal-overlap edge into
+        // the companion set (either direction).
+        let edge_match = graph.neighbors(node).any(|(eid, other)| {
+            graph
+                .edge(eid)
+                .is_ok_and(|e| e.kind() == EdgeKind::TemporalOverlap)
+                && companion_nodes.contains(&other)
+        });
+        if !interval_match && !edge_match {
+            continue;
+        }
+        let score = text_score * if edge_match { config.edge_bonus } else { 1.0 };
+        let hit = ScoredHit {
+            node,
+            kind: n.kind(),
+            key: n.key().to_owned(),
+            title: n.attrs().get_str("title").map(str::to_owned),
+            score,
+            text_score,
+            context_score: score - text_score,
+        };
+        match best_by_key.get_mut(n.key()) {
+            Some(existing) if existing.score >= score => {}
+            _ => {
+                best_by_key.insert(n.key().to_owned(), hit);
+            }
+        }
+    }
+    let mut hits: Vec<ScoredHit> = best_by_key.into_values().collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    hits.truncate(config.max_results);
+    QueryResult {
+        hits,
+        elapsed: start.elapsed(),
+        truncated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{BrowserEvent, CaptureConfig, NavigationCause, TabId};
+    use bp_graph::Timestamp;
+    use std::path::PathBuf;
+
+    struct TempBrowser {
+        browser: ProvenanceBrowser,
+        dir: PathBuf,
+    }
+    impl TempBrowser {
+        fn new(tag: &str, config: CaptureConfig) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "bp-query-time-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempBrowser {
+                browser: ProvenanceBrowser::open(&dir, config).unwrap(),
+                dir,
+            }
+        }
+    }
+    impl Drop for TempBrowser {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    /// The §2.3 history: many wine pages across days, exactly one viewed
+    /// while plane tickets were open in another tab.
+    fn wine_history(tag: &str, config: CaptureConfig) -> (TempBrowser, String) {
+        let mut tb = TempBrowser::new(tag, config);
+        let b = &mut tb.browser;
+        b.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))
+            .unwrap();
+        // Background: ten wine pages on earlier "days".
+        for i in 0..10 {
+            let s = i * 86_400 + 100;
+            b.ingest(&BrowserEvent::navigate(
+                t(s),
+                TabId(0),
+                format!("http://wine{i}.example/list"),
+                Some("wine list and tasting notes"),
+                NavigationCause::Typed,
+            ))
+            .unwrap();
+        }
+        // The moment: day 20, the special wine page + tickets tab.
+        let s0 = 20 * 86_400;
+        let target = "http://rare-wine.example/bottle".to_owned();
+        b.ingest(&BrowserEvent::navigate(
+            t(s0),
+            TabId(0),
+            &target,
+            Some("rare wine bottle tasting"),
+            NavigationCause::Typed,
+        ))
+        .unwrap();
+        b.ingest(&BrowserEvent::tab_opened(
+            t(s0 + 30),
+            TabId(1),
+            Some(TabId(0)),
+        ))
+        .unwrap();
+        b.ingest(&BrowserEvent::navigate(
+            t(s0 + 40),
+            TabId(1),
+            "http://travel.example/plane-tickets",
+            Some("cheap plane tickets"),
+            NavigationCause::Typed,
+        ))
+        .unwrap();
+        // Close everything so later wine visits don't overlap.
+        b.ingest(&BrowserEvent::tab_closed(t(s0 + 600), TabId(1)))
+            .unwrap();
+        b.ingest(&BrowserEvent::navigate(
+            t(s0 + 700),
+            TabId(0),
+            "http://wine99.example/another",
+            Some("another wine page"),
+            NavigationCause::Typed,
+        ))
+        .unwrap();
+        (tb, target)
+    }
+
+    #[test]
+    fn finds_the_wine_page_open_with_tickets() {
+        let (tb, target) = wine_history("find", CaptureConfig::default());
+        let r = time_contextual_search(
+            &tb.browser,
+            "wine",
+            "plane tickets",
+            &TimeContextConfig::default(),
+        );
+        assert!(r.contains_key(&target), "got {:?}", r.top_keys(10));
+        assert_eq!(
+            r.rank_of_key(&target),
+            Some(0),
+            "the associated page ranks first: {:?}",
+            r.top_keys(10)
+        );
+        // Background wine pages from other days are excluded.
+        assert!(!r.contains_key("http://wine3.example/list"));
+    }
+
+    #[test]
+    fn plain_text_search_is_swamped_but_time_context_is_not() {
+        let (tb, _) = wine_history("swamp", CaptureConfig::default());
+        let all_wine = tb.browser.text_index().search("wine");
+        let r = time_contextual_search(
+            &tb.browser,
+            "wine",
+            "plane tickets",
+            &TimeContextConfig::default(),
+        );
+        assert!(
+            all_wine.len() > r.hits.len(),
+            "time context must shrink the candidate set ({} vs {})",
+            all_wine.len(),
+            r.hits.len()
+        );
+    }
+
+    #[test]
+    fn no_companion_match_returns_empty() {
+        let (tb, _) = wine_history("nocompanion", CaptureConfig::default());
+        let r = time_contextual_search(
+            &tb.browser,
+            "wine",
+            "submarine races",
+            &TimeContextConfig::default(),
+        );
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn no_subject_match_returns_empty() {
+        let (tb, _) = wine_history("nosubject", CaptureConfig::default());
+        let r = time_contextual_search(
+            &tb.browser,
+            "submarine",
+            "plane tickets",
+            &TimeContextConfig::default(),
+        );
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn firefox_like_capture_cannot_answer() {
+        // Without close records every page is "always open" (§3.2), so
+        // old wine pages spuriously overlap and the answer drowns.
+        let (tb, target) = wine_history("firefox", CaptureConfig::firefox_like());
+        let r = time_contextual_search(
+            &tb.browser,
+            "wine",
+            "plane tickets",
+            &TimeContextConfig::default(),
+        );
+        // The target may appear, but so does everything else — the rank-1
+        // precision the provenance-aware capture achieves is lost.
+        let spurious = r
+            .hits
+            .iter()
+            .filter(|h| h.key.contains("example/list"))
+            .count();
+        assert!(
+            spurious >= 9,
+            "without closes, stale pages flood in (got {spurious}); target rank {:?}",
+            r.rank_of_key(&target)
+        );
+    }
+
+    #[test]
+    fn gap_config_widens_the_association() {
+        let (tb, _) = wine_history("gap", CaptureConfig::default());
+        // The post-moment wine page (t = s0+700) is ~11 min after the
+        // tickets tab closed; a huge gap admits it, the default does too
+        // (30 min), but a tiny gap excludes it.
+        let tight = TimeContextConfig {
+            gap: Duration::from_secs(1),
+            ..TimeContextConfig::default()
+        };
+        let r_tight = time_contextual_search(&tb.browser, "wine", "plane tickets", &tight);
+        let wide = TimeContextConfig {
+            gap: Duration::from_secs(3_600),
+            ..TimeContextConfig::default()
+        };
+        let r_wide = time_contextual_search(&tb.browser, "wine", "plane tickets", &wide);
+        assert!(r_wide.hits.len() >= r_tight.hits.len());
+        assert!(!r_tight.contains_key("http://wine99.example/another"));
+        assert!(r_wide.contains_key("http://wine99.example/another"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Calibration to the paper's reported history scale.
+//!
+//! §3: "one author's history has accumulated more than 25,000 nodes over
+//! the past 79 days." Experiment E3 regenerates a history at that scale;
+//! this module provides the calibrated generator and a measurement helper
+//! used by the report binary and the benches.
+
+use crate::session::{SessionGenerator, UserProfile};
+use crate::web::{SyntheticWeb, WebConfig};
+use bp_core::BrowserEvent;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The paper's history duration in days.
+pub const PAPER_DAYS: u32 = 79;
+
+/// The paper's approximate node count.
+pub const PAPER_NODES: usize = 25_000;
+
+/// A profile whose event volume lands near 25k provenance nodes over 79
+/// days under the default capture configuration (measured by
+/// `calibration_report`; see EXPERIMENTS.md for the realized figure).
+pub fn paper_profile() -> UserProfile {
+    let mut profile = UserProfile::generic();
+    // ~4 sessions × ~40 actions ≈ 160 actions/day; each action averages
+    // ~1.3 events and ~1.5 nodes/event (visit + page object + occasional
+    // term/form/tab/embed nodes), landing near the paper's 25k/79 days
+    // (≈316 nodes/day). The realized figure is printed by experiment E3.
+    profile.sessions_per_day = (3, 5);
+    profile.actions_per_session = (39, 63);
+    profile
+}
+
+/// The web used for paper-scale histories.
+pub fn paper_web(seed: u64) -> SyntheticWeb {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SyntheticWeb::generate(&WebConfig::default(), &mut rng)
+}
+
+/// Generates the full 79-day paper-scale event stream.
+pub fn paper_history(web: &SyntheticWeb, seed: u64) -> Vec<BrowserEvent> {
+    days_history(web, seed, PAPER_DAYS)
+}
+
+/// Generates `days` of paper-profile events (for scaling sweeps).
+pub fn days_history(web: &SyntheticWeb, seed: u64, days: u32) -> Vec<BrowserEvent> {
+    let mut generator =
+        SessionGenerator::new(web, paper_profile(), ChaCha8Rng::seed_from_u64(seed));
+    generator.generate(days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{CaptureConfig, ProvenanceBrowser};
+
+    #[test]
+    fn short_history_scales_toward_paper_density() {
+        // Ingest 4 days and check the nodes/day density extrapolates into
+        // the paper's ballpark (25k over 79 days ≈ 316 nodes/day; accept a
+        // generous band — the exact figure is reported by E3).
+        let web = paper_web(42);
+        let events = days_history(&web, 42, 4);
+        let dir = std::env::temp_dir().join(format!(
+            "bp-calibrate-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut browser = ProvenanceBrowser::open(&dir, CaptureConfig::default()).unwrap();
+        browser.ingest_all(&events).unwrap();
+        let per_day = browser.graph().node_count() as f64 / 4.0;
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            (100.0..1200.0).contains(&per_day),
+            "nodes/day {per_day} far from the paper's ~316"
+        );
+    }
+
+    #[test]
+    fn histories_are_deterministic() {
+        let web = paper_web(1);
+        assert_eq!(days_history(&web, 7, 2), days_history(&web, 7, 2));
+    }
+}

@@ -1,0 +1,390 @@
+//! Scripted §2 scenarios with known ground truth.
+//!
+//! Each scenario builds the exact situation a use case describes, embedded
+//! in realistic background browsing, and returns the markers (URLs, paths,
+//! queries) the corresponding experiment asserts against.
+
+use crate::session::{SessionGenerator, UserProfile};
+use crate::web::{SyntheticWeb, WebConfig};
+use bp_core::{BrowserEvent, EventKind, NavigationCause, TabId};
+use bp_graph::Timestamp;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A scripted scenario: the event stream plus its ground-truth markers.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The full event stream (background + scripted moment), time-sorted.
+    pub events: Vec<BrowserEvent>,
+    /// Ground-truth markers, scenario-specific (see constructors).
+    pub markers: ScenarioMarkers,
+}
+
+/// Ground truth for assertions and experiment scoring.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioMarkers {
+    /// The query the user will later repeat (history or web search).
+    pub query: String,
+    /// URL of the page the user actually wants to find again.
+    pub target_url: String,
+    /// Title of that page.
+    pub target_title: String,
+    /// For download scenarios: the downloaded file path.
+    pub download_path: String,
+    /// For download scenarios: URL of the page the user would recognize.
+    pub recognizable_url: String,
+    /// For download scenarios: URL of the untrusted page.
+    pub untrusted_url: String,
+    /// For time-contextual scenarios: the companion activity's query.
+    pub companion_query: String,
+}
+
+/// Generates the shared synthetic web used by all scenarios.
+pub fn standard_web(seed: u64) -> SyntheticWeb {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SyntheticWeb::generate(&WebConfig::default(), &mut rng)
+}
+
+/// A smaller web for fast tests.
+pub fn small_web(seed: u64) -> SyntheticWeb {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SyntheticWeb::generate(
+        &WebConfig {
+            pages_per_topic: 80,
+            ..WebConfig::default()
+        },
+        &mut rng,
+    )
+}
+
+fn background(web: &SyntheticWeb, profile: UserProfile, seed: u64, days: u32) -> Vec<BrowserEvent> {
+    let mut generator = SessionGenerator::new(web, profile, ChaCha8Rng::seed_from_u64(seed));
+    generator.generate(days)
+}
+
+fn after(events: &[BrowserEvent]) -> Timestamp {
+    events
+        .last()
+        .map_or(Timestamp::EPOCH, |e| e.at)
+        .plus_micros(3_600 * 1_000_000)
+}
+
+/// §2.1 — contextual history search. The user searches the web for
+/// "rosebud", clicks through to a Citizen Kane page whose own text never
+/// mentions rosebud, and later expects a *history* search for rosebud to
+/// return it.
+pub fn rosebud(seed: u64) -> (SyntheticWeb, Scenario) {
+    let web = small_web(seed);
+    let mut events = background(&web, UserProfile::cinephile(), seed, 3);
+    let t0 = after(&events);
+    // Find a film page that does NOT contain "rosebud" in title/URL — the
+    // §2.1 point is that textual search cannot connect it to the query.
+    let kane = web
+        .pages()
+        .iter()
+        .find(|p| {
+            p.url.contains("film")
+                && !p.title.to_lowercase().contains("rosebud")
+                && !p.url.to_lowercase().contains("rosebud")
+        })
+        .expect("film page without the query term")
+        .clone();
+    let tab = TabId(9_000);
+    events.push(BrowserEvent::tab_opened(t0, tab, None));
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(5_000_000),
+        tab,
+        SyntheticWeb::search_url("rosebud"),
+        Some("rosebud — search"),
+        NavigationCause::SearchQuery {
+            query: "rosebud".to_owned(),
+        },
+    ));
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(20_000_000),
+        tab,
+        &kane.url,
+        Some("Citizen Kane (1941) — classic film"),
+        NavigationCause::Link,
+    ));
+    events.push(BrowserEvent::tab_closed(t0.plus_micros(120_000_000), tab));
+    (
+        web,
+        Scenario {
+            events,
+            markers: ScenarioMarkers {
+                query: "rosebud".to_owned(),
+                target_url: kane.url.clone(),
+                target_title: "Citizen Kane (1941) — classic film".to_owned(),
+                ..ScenarioMarkers::default()
+            },
+        },
+    )
+}
+
+/// §2.2 — personalizing web search. A gardener browses gardening heavily;
+/// when she searches the web for "rosebud" she means the flower, and the
+/// engine's film-dominated results frustrate her. Ground truth: the target
+/// is a *gardening* page matching rosebud.
+pub fn gardener(seed: u64) -> (SyntheticWeb, Scenario) {
+    let web = standard_web(seed);
+    let events = background(&web, UserProfile::gardener(), seed, 7);
+    // The page she wants: a gardening page matching "rosebud".
+    let target = web
+        .search("rosebud", 50)
+        .into_iter()
+        .map(|id| web.page(id))
+        .find(|p| p.url.contains("gardening"))
+        .expect("a gardening rosebud page exists")
+        .clone();
+    (
+        web,
+        Scenario {
+            events,
+            markers: ScenarioMarkers {
+                query: "rosebud".to_owned(),
+                target_url: target.url.clone(),
+                target_title: target.title.clone(),
+                ..ScenarioMarkers::default()
+            },
+        },
+    )
+}
+
+/// §2.3 — time-contextual history search. The wine enthusiast views many
+/// wine pages over weeks; ONE specific wine page was viewed while a plane
+/// tickets search was open in another tab. "wine associated with plane
+/// tickets" should pin down that page.
+pub fn wine_and_tickets(seed: u64) -> (SyntheticWeb, Scenario) {
+    let web = small_web(seed);
+    let mut events = background(&web, UserProfile::wine_enthusiast(), seed, 10);
+    let t0 = after(&events);
+    let wine_target = web
+        .pages()
+        .iter()
+        .find(|p| p.url.contains("wine"))
+        .expect("wine page")
+        .clone();
+    // The scripted moment: wine page and plane-ticket search open together.
+    let wine_tab = TabId(9_100);
+    let tickets_tab = TabId(9_101);
+    events.push(BrowserEvent::tab_opened(t0, wine_tab, None));
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(5_000_000),
+        wine_tab,
+        &wine_target.url,
+        Some(&wine_target.title),
+        NavigationCause::Typed,
+    ));
+    events.push(BrowserEvent::tab_opened(
+        t0.plus_micros(30_000_000),
+        tickets_tab,
+        Some(wine_tab),
+    ));
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(35_000_000),
+        tickets_tab,
+        SyntheticWeb::search_url("plane tickets"),
+        Some("plane tickets — search"),
+        NavigationCause::SearchQuery {
+            query: "plane tickets".to_owned(),
+        },
+    ));
+    let ticket_page = web
+        .pages()
+        .iter()
+        .find(|p| p.url.contains("travel"))
+        .expect("travel page");
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(60_000_000),
+        tickets_tab,
+        &ticket_page.url,
+        Some(&ticket_page.title),
+        NavigationCause::Link,
+    ));
+    events.push(BrowserEvent::tab_closed(
+        t0.plus_micros(400_000_000),
+        wine_tab,
+    ));
+    events.push(BrowserEvent::tab_closed(
+        t0.plus_micros(420_000_000),
+        tickets_tab,
+    ));
+    (
+        web,
+        Scenario {
+            events,
+            markers: ScenarioMarkers {
+                query: "wine".to_owned(),
+                companion_query: "plane tickets".to_owned(),
+                target_url: wine_target.url.clone(),
+                target_title: wine_target.title.clone(),
+                ..ScenarioMarkers::default()
+            },
+        },
+    )
+}
+
+/// §2.4 — download lineage. Background browsing, then a drive-by chain:
+/// a search the user remembers → a well-known forum (visited often, hence
+/// "recognizable") → a shortener redirect → an unfamiliar file host → a
+/// download. The untrusted host later serves more downloads.
+pub fn driveby(seed: u64) -> (SyntheticWeb, Scenario) {
+    let web = small_web(seed);
+    let mut events = background(&web, UserProfile::generic(), seed, 5);
+    let t0 = after(&events);
+    let tab = TabId(9_200);
+    let forum_url = "http://forum.example/codecs";
+    let host_url = "http://free-codecs.example/get";
+    let payload = "/home/user/downloads/codec-pack.exe";
+    events.push(BrowserEvent::tab_opened(t0, tab, None));
+    // The user knows the forum well: many prior visits.
+    for i in 0..6 {
+        events.push(BrowserEvent::navigate(
+            t0.plus_micros((10 + i) * 1_000_000),
+            tab,
+            forum_url,
+            Some("Codec Forum — help"),
+            NavigationCause::Typed,
+        ));
+    }
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(100_000_000),
+        tab,
+        SyntheticWeb::search_url("video codec download"),
+        Some("video codec download — search"),
+        NavigationCause::SearchQuery {
+            query: "video codec download".to_owned(),
+        },
+    ));
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(110_000_000),
+        tab,
+        forum_url,
+        Some("Codec Forum — help"),
+        NavigationCause::Link,
+    ));
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(120_000_000),
+        tab,
+        "http://short.example/zzz",
+        None,
+        NavigationCause::Link,
+    ));
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(121_000_000),
+        tab,
+        host_url,
+        Some("FREE CODECS 100% WORKING"),
+        NavigationCause::Redirect { status: 302 },
+    ));
+    events.push(BrowserEvent::new(
+        t0.plus_micros(130_000_000),
+        EventKind::Download {
+            tab,
+            path: payload.to_owned(),
+            bytes: 4_200_000,
+        },
+    ));
+    // The untrusted host serves two more downloads in a later session.
+    events.push(BrowserEvent::navigate(
+        t0.plus_micros(200_000_000),
+        tab,
+        host_url,
+        Some("FREE CODECS 100% WORKING"),
+        NavigationCause::Typed,
+    ));
+    for (i, name) in ["toolbar-installer.exe", "player-update.exe"]
+        .iter()
+        .enumerate()
+    {
+        events.push(BrowserEvent::new(
+            t0.plus_micros(210_000_000 + i as i64 * 5_000_000),
+            EventKind::Download {
+                tab,
+                path: format!("/home/user/downloads/{name}"),
+                bytes: 900_000,
+            },
+        ));
+    }
+    events.push(BrowserEvent::tab_closed(t0.plus_micros(300_000_000), tab));
+    (
+        web,
+        Scenario {
+            events,
+            markers: ScenarioMarkers {
+                query: "video codec download".to_owned(),
+                download_path: payload.to_owned(),
+                recognizable_url: forum_url.to_owned(),
+                untrusted_url: host_url.to_owned(),
+                ..ScenarioMarkers::default()
+            },
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{CaptureConfig, ProvenanceBrowser};
+
+    fn ingest(events: &[BrowserEvent], tag: &str) -> ProvenanceBrowser {
+        let dir = std::env::temp_dir().join(format!(
+            "bp-scenario-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut browser = ProvenanceBrowser::open(&dir, CaptureConfig::default()).unwrap();
+        browser.ingest_all(events).unwrap();
+        browser
+    }
+
+    #[test]
+    fn rosebud_scenario_is_ingestible_and_marked() {
+        let (_, s) = rosebud(1);
+        let browser = ingest(&s.events, "rosebud");
+        assert!(browser.visit_count(&s.markers.target_url) >= 1);
+        // The target page's own text must NOT contain the query (that is
+        // the whole point of the scenario).
+        assert!(!s.markers.target_url.to_lowercase().contains("rosebud"));
+        let _ = std::fs::remove_dir_all(browser.store().dir());
+    }
+
+    #[test]
+    fn wine_scenario_has_simultaneous_tabs() {
+        let (_, s) = wine_and_tickets(2);
+        let browser = ingest(&s.events, "wine");
+        assert!(browser.visit_count(&s.markers.target_url) >= 1);
+        let _ = std::fs::remove_dir_all(browser.store().dir());
+    }
+
+    #[test]
+    fn driveby_scenario_records_the_chain() {
+        let (_, s) = driveby(3);
+        let browser = ingest(&s.events, "driveby");
+        assert!(browser.visit_count(&s.markers.recognizable_url) >= 6);
+        assert!(browser.visit_count(&s.markers.untrusted_url) >= 2);
+        let g = browser.graph();
+        let downloads = g.nodes_of_kind(bp_graph::NodeKind::Download).count();
+        assert!(
+            downloads >= 3,
+            "payload + 2 later downloads, got {downloads}"
+        );
+        let _ = std::fs::remove_dir_all(browser.store().dir());
+    }
+
+    #[test]
+    fn gardener_scenario_targets_a_gardening_page() {
+        let (_, s) = gardener(4);
+        assert!(s.markers.target_url.contains("gardening"));
+        assert!(!s.events.is_empty());
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let (_, a) = driveby(9);
+        let (_, b) = driveby(9);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,1082 @@
+//! The durable provenance graph store.
+//!
+//! [`ProvenanceStore`] is the paper's "single, homogeneous provenance graph
+//! store" (§3.4) made durable: an in-memory [`ProvenanceGraph`] kept
+//! consistent with an on-disk write-ahead log plus snapshot, and two
+//! secondary indexes (key → nodes, interval overlap) maintained inline.
+//!
+//! Layout on disk (one directory per profile):
+//!
+//! ```text
+//! <dir>/snapshot.bps   compacted op stream (atomic rename on snapshot)
+//! <dir>/log.wal        ops appended since the last snapshot
+//! ```
+//!
+//! Recovery replays the snapshot, then the log, truncating any torn tail.
+//! Replay is deterministic: node/edge ids are dense log positions, so the
+//! rebuilt graph is byte-for-byte the pre-crash committed state.
+
+use crate::error::{StorageError, StorageResult};
+use crate::index::{KeyIndex, TimeIndex};
+use crate::intern::StringInterner;
+use crate::record::{Codec, Op};
+use crate::wal::{SyncPolicy, Wal};
+use bp_graph::{
+    AttrValue, Edge, EdgeKind, GraphError, Node, NodeId, NodeKind, ProvenanceGraph, TimeInterval,
+    Timestamp, Version,
+};
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT_FILE: &str = "snapshot.bps";
+const LOG_FILE: &str = "log.wal";
+/// Magic + format version, written as the snapshot's first frame. Recovery
+/// rejects snapshots from a different format generation instead of
+/// misinterpreting their bytes.
+const SNAPSHOT_HEADER: &[u8] = b"BPSNAP\x01";
+
+/// A durable, indexed browser-provenance store.
+///
+/// # Examples
+///
+/// ```
+/// use bp_storage::{ProvenanceStore, SyncPolicy};
+/// use bp_graph::{NodeKind, EdgeKind, Timestamp};
+///
+/// # fn main() -> Result<(), bp_storage::StorageError> {
+/// let dir = std::env::temp_dir().join(format!("bp-store-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let mut store = ProvenanceStore::open(&dir, SyncPolicy::OsManaged)?;
+/// let t = Timestamp::from_secs(1);
+/// let term = store.add_node(NodeKind::SearchTerm, "rosebud", t, &[])?;
+/// let visit = store.add_visit("http://se/?q=rosebud", t)?;
+/// store.add_edge(visit, term, EdgeKind::SearchResult, t)?;
+/// assert_eq!(store.graph().node_count(), 2);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProvenanceStore {
+    graph: ProvenanceGraph,
+    interner: StringInterner,
+    keys: KeyIndex,
+    times: TimeIndex,
+    wal: Wal,
+    codec: Codec,
+    dir: PathBuf,
+    policy: SyncPolicy,
+    /// When batching, encoded ops accumulate here and are appended as one
+    /// frame at [`commit_batch`](Self::commit_batch) — making multi-op
+    /// units (one browser event's worth of mutations) atomic on disk.
+    pending: Option<Vec<u8>>,
+}
+
+impl ProvenanceStore {
+    /// Opens (creating if necessary) the store in `dir`, replaying any
+    /// existing snapshot and log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] on filesystem failure, or
+    /// [`StorageError::Corrupt`]/[`StorageError::Replay`] if committed
+    /// records cannot be reapplied (which indicates on-disk corruption
+    /// beyond a torn tail).
+    pub fn open(dir: impl AsRef<Path>, policy: SyncPolicy) -> StorageResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut store = ProvenanceStore {
+            graph: ProvenanceGraph::new(),
+            interner: StringInterner::new(),
+            keys: KeyIndex::new(),
+            times: TimeIndex::new(),
+            wal: Wal::open(dir.join(LOG_FILE), policy)?,
+            codec: Codec::new(),
+            dir,
+            policy,
+            pending: None,
+        };
+        store.recover()?;
+        Ok(store)
+    }
+
+    fn recover(&mut self) -> StorageResult<()> {
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            let mut snap = Wal::open(&snapshot_path, SyncPolicy::OsManaged)?;
+            let contents = snap.read_all()?;
+            let mut frames = contents.frames.iter();
+            match frames.next() {
+                Some(header) if header == SNAPSHOT_HEADER => {}
+                Some(other) => {
+                    return Err(StorageError::corrupt(
+                        0,
+                        format!(
+                            "snapshot format mismatch: expected {SNAPSHOT_HEADER:?}, found {:?}",
+                            &other[..other.len().min(8)]
+                        ),
+                    ))
+                }
+                None => {} // empty snapshot: nothing to replay
+            }
+            let mut codec = Codec::new();
+            for frame in frames {
+                let mut pos = 0;
+                while pos < frame.len() {
+                    let op = codec.decode(frame, &mut pos)?;
+                    self.replay(op)?;
+                }
+            }
+        }
+        // The log's codec state continues from a fresh codec (the log is
+        // reset at snapshot time), not from the snapshot codec.
+        let contents = self.wal.read_all()?;
+        let mut codec = Codec::new();
+        for frame in &contents.frames {
+            let mut pos = 0;
+            while pos < frame.len() {
+                let op = codec.decode(frame, &mut pos)?;
+                self.replay(op)?;
+            }
+        }
+        // Future appends continue the replayed delta state.
+        self.codec = codec;
+        Ok(())
+    }
+
+    fn replay(&mut self, op: Op) -> StorageResult<()> {
+        match op {
+            Op::DefineString { id, value } => {
+                self.interner.define(id, &value).map_err(|expected| {
+                    StorageError::Replay(format!(
+                        "string id {id} defined out of order (expected {expected})"
+                    ))
+                })
+            }
+            other => self.apply_structural(&other).map(|_| ()),
+        }
+    }
+
+    /// Applies a non-DefineString op to graph + indexes (shared between
+    /// live mutation and replay).
+    fn apply_structural(&mut self, op: &Op) -> StorageResult<Option<NodeId>> {
+        match op {
+            Op::DefineString { .. } => unreachable!("handled by replay"),
+            Op::AddNode {
+                kind,
+                key,
+                version,
+                open_at,
+                attrs,
+            } => {
+                let key_str = self
+                    .interner
+                    .resolve(*key)
+                    .ok_or(StorageError::UnknownStringId(*key))?
+                    .to_owned();
+                let mut node = Node::with_version(*kind, &key_str, *version, *open_at);
+                for (kid, value) in attrs {
+                    let kname = self
+                        .interner
+                        .resolve(*kid)
+                        .ok_or(StorageError::UnknownStringId(*kid))?;
+                    node.attrs_mut().set(kname, value.clone());
+                }
+                let id = self.graph.add_node(node);
+                self.keys.insert(&key_str, id);
+                self.times.insert(id, TimeInterval::open_at(*open_at));
+                Ok(Some(id))
+            }
+            Op::AddEdge {
+                src,
+                dst,
+                kind,
+                at,
+                attrs,
+            } => {
+                let mut edge = Edge::new(*src, *dst, *kind, *at);
+                for (kid, value) in attrs {
+                    let kname = self
+                        .interner
+                        .resolve(*kid)
+                        .ok_or(StorageError::UnknownStringId(*kid))?;
+                    edge.attrs_mut().set(kname, value.clone());
+                }
+                self.graph
+                    .add_edge_full(edge)
+                    .map_err(|e| StorageError::Replay(e.to_string()))?;
+                Ok(None)
+            }
+            Op::CloseNode { node, at } => {
+                self.graph
+                    .node_mut(*node)
+                    .map_err(|e| StorageError::Replay(e.to_string()))?
+                    .close_at(*at);
+                self.times.close(*node, *at);
+                Ok(None)
+            }
+            Op::SetNodeAttr { node, key, value } => {
+                let kname = self
+                    .interner
+                    .resolve(*key)
+                    .ok_or(StorageError::UnknownStringId(*key))?
+                    .to_owned();
+                self.graph
+                    .node_mut(*node)
+                    .map_err(|e| StorageError::Replay(e.to_string()))?
+                    .attrs_mut()
+                    .set(kname, value.clone());
+                Ok(None)
+            }
+            Op::RedactNode { node, replacement } => {
+                let replacement = self
+                    .interner
+                    .resolve(*replacement)
+                    .ok_or(StorageError::UnknownStringId(*replacement))?
+                    .to_owned();
+                let old_key = self
+                    .graph
+                    .redact_node(*node, replacement.clone())
+                    .map_err(|e| StorageError::Replay(e.to_string()))?;
+                // The key index must stop resolving the old key for this
+                // node; the redacted placeholder becomes its key instead.
+                let survivors: Vec<NodeId> = self
+                    .keys
+                    .remove_key(&old_key)
+                    .into_iter()
+                    .filter(|&n| n != *node)
+                    .collect();
+                for survivor in survivors {
+                    self.keys.insert(&old_key, survivor);
+                }
+                self.keys.insert(&replacement, *node);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Interns `s`, appending a DefineString record if new.
+    fn intern(&mut self, s: &str, batch: &mut Vec<u8>) -> u32 {
+        let (id, new) = self.interner.intern_full(s);
+        if new {
+            let op = Op::DefineString {
+                id,
+                value: s.to_owned(),
+            };
+            self.codec.encode(&op, batch);
+        }
+        id
+    }
+
+    fn intern_attrs(
+        &mut self,
+        attrs: &[(&str, AttrValue)],
+        batch: &mut Vec<u8>,
+    ) -> Vec<(u32, AttrValue)> {
+        attrs
+            .iter()
+            .map(|(k, v)| (self.intern(k, batch), v.clone()))
+            .collect()
+    }
+
+    fn commit(&mut self, op: Op, mut batch: Vec<u8>) -> StorageResult<Option<NodeId>> {
+        self.codec.encode(&op, &mut batch);
+        let result = self.apply_structural(&op)?;
+        match &mut self.pending {
+            Some(pending) => pending.extend_from_slice(&batch),
+            None => self.wal.append(&batch)?,
+        }
+        Ok(result)
+    }
+
+    /// Starts an atomic batch: subsequent mutations accumulate in memory
+    /// and reach the log as **one frame** at
+    /// [`commit_batch`](Self::commit_batch). Recovery therefore replays a
+    /// batch entirely or not at all — the capture layer wraps each browser
+    /// event in a batch so a crash can never persist half a navigation
+    /// (a visit without its edges, a download without its source link).
+    ///
+    /// Batches do not nest; calling again while one is open is a no-op.
+    pub fn begin_batch(&mut self) {
+        if self.pending.is_none() {
+            self.pending = Some(Vec::new());
+        }
+    }
+
+    /// Appends the open batch to the log as a single frame.
+    ///
+    /// A no-op if no batch is open or it is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] if the append fails; the in-memory
+    /// state already reflects the batch (mutations are validated before
+    /// application, so the only divergence risk is the device failing).
+    pub fn commit_batch(&mut self) -> StorageResult<()> {
+        if let Some(pending) = self.pending.take() {
+            if !pending.is_empty() {
+                self.wal.append(&pending)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a node of any kind with attributes; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] if the log append fails.
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        key: &str,
+        at: Timestamp,
+        attrs: &[(&str, AttrValue)],
+    ) -> StorageResult<NodeId> {
+        let mut batch = Vec::new();
+        let key_id = self.intern(key, &mut batch);
+        let encoded_attrs = self.intern_attrs(attrs, &mut batch);
+        let version = if kind.is_versioned() {
+            self.graph
+                .latest_version_of(kind, key)
+                .map_or(Version::FIRST, |(_, v)| v.next())
+        } else {
+            Version::FIRST
+        };
+        let op = Op::AddNode {
+            kind,
+            key: key_id,
+            version,
+            open_at: at,
+            attrs: encoded_attrs,
+        };
+        Ok(self
+            .commit(op, batch)?
+            .expect("AddNode always yields an id"))
+    }
+
+    /// Adds a page-visit instance of `url`, automatically versioned and
+    /// linked to its predecessor with a [`EdgeKind::VersionOf`] edge —
+    /// the §3.1 cycle-breaking entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] if the log append fails.
+    pub fn add_visit(&mut self, url: &str, at: Timestamp) -> StorageResult<NodeId> {
+        let prior = self.graph.latest_version_of(NodeKind::PageVisit, url);
+        let id = self.add_node(NodeKind::PageVisit, url, at, &[])?;
+        if let Some((prev, _)) = prior {
+            self.add_edge(id, prev, EdgeKind::VersionOf, at)?;
+        }
+        Ok(id)
+    }
+
+    /// Adds a derives-from edge.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Replay`] wraps graph rejections (cycle, unknown
+    /// node, self-loop); [`StorageError::Io`] covers log failures. On
+    /// rejection nothing is logged.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: EdgeKind,
+        at: Timestamp,
+    ) -> StorageResult<()> {
+        self.add_edge_with_attrs(src, dst, kind, at, &[])
+    }
+
+    /// Adds a derives-from edge carrying attributes.
+    ///
+    /// # Errors
+    ///
+    /// See [`add_edge`](Self::add_edge).
+    pub fn add_edge_with_attrs(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: EdgeKind,
+        at: Timestamp,
+        attrs: &[(&str, AttrValue)],
+    ) -> StorageResult<()> {
+        // Validate before interning or encoding: a rejected edge must not
+        // reach the log (replay would fail on it) nor perturb codec or
+        // interner state.
+        self.check_edge(src, dst)?;
+        let mut batch = Vec::new();
+        let encoded_attrs = self.intern_attrs(attrs, &mut batch);
+        let op = Op::AddEdge {
+            src,
+            dst,
+            kind,
+            at,
+            attrs: encoded_attrs,
+        };
+        self.commit(op, batch)?;
+        Ok(())
+    }
+
+    /// Fully validates an edge before anything is interned, encoded, or
+    /// logged: a rejected edge must leave the store (including the codec's
+    /// delta-timestamp state and the interner) exactly as it found it.
+    fn check_edge(&self, src: NodeId, dst: NodeId) -> StorageResult<()> {
+        let validate = |r: Result<&Node, GraphError>| {
+            r.map(|_| ())
+                .map_err(|e| StorageError::Replay(e.to_string()))
+        };
+        validate(self.graph.node(src))?;
+        validate(self.graph.node(dst))?;
+        if src == dst {
+            return Err(StorageError::Replay(GraphError::SelfLoop(src).to_string()));
+        }
+        if self.graph.would_cycle(src, dst) {
+            return Err(StorageError::Replay(
+                GraphError::WouldCycle { src, dst }.to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Closes a node's open interval (§3.2's page-close record).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Replay`] if the node is unknown, [`StorageError::Io`]
+    /// on log failure.
+    pub fn close_node(&mut self, node: NodeId, at: Timestamp) -> StorageResult<()> {
+        self.graph
+            .node(node)
+            .map_err(|e| StorageError::Replay(e.to_string()))?;
+        self.commit(Op::CloseNode { node, at }, Vec::new())?;
+        Ok(())
+    }
+
+    /// Sets one attribute on an existing node.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Replay`] if the node is unknown, [`StorageError::Io`]
+    /// on log failure.
+    pub fn set_node_attr(
+        &mut self,
+        node: NodeId,
+        key: &str,
+        value: impl Into<AttrValue>,
+    ) -> StorageResult<()> {
+        self.graph
+            .node(node)
+            .map_err(|e| StorageError::Replay(e.to_string()))?;
+        let mut batch = Vec::new();
+        let key_id = self.intern(key, &mut batch);
+        self.commit(
+            Op::SetNodeAttr {
+                node,
+                key: key_id,
+                value: value.into(),
+            },
+            batch,
+        )?;
+        Ok(())
+    }
+
+    /// Redacts every node whose primary key equals `key` (§4 privacy):
+    /// their keys become `[redacted:<node id>]`, attributes are dropped,
+    /// and the old key stops resolving in the key index. Graph structure
+    /// and timestamps are preserved. Returns the redacted node ids.
+    ///
+    /// The URL string itself disappears from disk at the next
+    /// [`snapshot`](Self::snapshot): compaction rewrites the string table
+    /// with only live references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] if logging fails; an unknown key is
+    /// not an error (returns an empty list).
+    pub fn redact_key(&mut self, key: &str) -> StorageResult<Vec<NodeId>> {
+        let nodes = self.keys.get(key).to_vec();
+        for &node in &nodes {
+            let mut batch = Vec::new();
+            let replacement = self.intern(&format!("[redacted:{}]", node.index()), &mut batch);
+            self.commit(Op::RedactNode { node, replacement }, batch)?;
+        }
+        Ok(nodes)
+    }
+
+    /// The in-memory graph view.
+    pub fn graph(&self) -> &ProvenanceGraph {
+        &self.graph
+    }
+
+    /// The key (URL/query/path) index.
+    pub fn keys(&self) -> &KeyIndex {
+        &self.keys
+    }
+
+    /// The interval-overlap index.
+    pub fn times(&self) -> &TimeIndex {
+        &self.times
+    }
+
+    /// The string interner.
+    pub fn interner(&self) -> &StringInterner {
+        &self.interner
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Flushes the log to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] on sync failure.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.wal.sync()
+    }
+
+    /// Writes a compacted snapshot of the current state and resets the log.
+    ///
+    /// The snapshot is written to a temporary file and atomically renamed,
+    /// so a crash during compaction leaves either the old snapshot+log or
+    /// the new snapshot intact.
+    ///
+    /// Compaction rebuilds the string table from scratch: only strings the
+    /// live graph still references are written. Together with
+    /// [`redact_key`](Self::redact_key), this guarantees redacted URLs do
+    /// not survive on disk after the next snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] on filesystem failure.
+    pub fn snapshot(&mut self) -> StorageResult<()> {
+        // An open batch must land in the (old) log before it is replaced;
+        // its ops are already applied in memory and the snapshot below
+        // captures them, so flushing keeps every representation aligned.
+        self.commit_batch()?;
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        let _ = std::fs::remove_file(&tmp);
+        // Fresh interner: ids are re-assigned in first-reference order and
+        // dead strings (including redacted keys) are dropped.
+        let mut compact = StringInterner::new();
+        {
+            let mut snap = Wal::open(&tmp, SyncPolicy::OsManaged)?;
+            snap.append(SNAPSHOT_HEADER)?;
+            let mut codec = Codec::new();
+            let mut batch = Vec::new();
+            let intern =
+                |s: &str, compact: &mut StringInterner, codec: &mut Codec, batch: &mut Vec<u8>| {
+                    let (id, new) = compact.intern_full(s);
+                    if new {
+                        codec.encode(
+                            &Op::DefineString {
+                                id,
+                                value: s.to_owned(),
+                            },
+                            batch,
+                        );
+                    }
+                    id
+                };
+            // Nodes in id order, attributes folded in.
+            for (_, node) in self.graph.nodes() {
+                let key = intern(node.key(), &mut compact, &mut codec, &mut batch);
+                let attrs: Vec<(u32, AttrValue)> = node
+                    .attrs()
+                    .iter()
+                    .map(|(k, v)| (intern(k, &mut compact, &mut codec, &mut batch), v.clone()))
+                    .collect();
+                codec.encode(
+                    &Op::AddNode {
+                        kind: node.kind(),
+                        key,
+                        version: node.version(),
+                        open_at: node.opened_at(),
+                        attrs,
+                    },
+                    &mut batch,
+                );
+            }
+            // Edges in id order.
+            for (_, edge) in self.graph.edges() {
+                let attrs: Vec<(u32, AttrValue)> = edge
+                    .attrs()
+                    .iter()
+                    .map(|(k, v)| (intern(k, &mut compact, &mut codec, &mut batch), v.clone()))
+                    .collect();
+                codec.encode(
+                    &Op::AddEdge {
+                        src: edge.src(),
+                        dst: edge.dst(),
+                        kind: edge.kind(),
+                        at: edge.at(),
+                        attrs,
+                    },
+                    &mut batch,
+                );
+            }
+            // Close records last (they reference node ids already added).
+            for (id, node) in self.graph.nodes() {
+                if let Some(close) = node.interval().close() {
+                    codec.encode(
+                        &Op::CloseNode {
+                            node: id,
+                            at: close,
+                        },
+                        &mut batch,
+                    );
+                }
+            }
+            snap.append(&batch)?;
+            snap.sync()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        self.wal.reset()?;
+        self.codec = Codec::new();
+        // Future log records must reference the compact table, matching
+        // what recovery will replay.
+        self.interner = compact;
+        Ok(())
+    }
+
+    /// On-disk size accounting for experiment E1.
+    pub fn size_report(&self) -> SizeReport {
+        let snapshot_bytes = std::fs::metadata(self.dir.join(SNAPSHOT_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        SizeReport {
+            snapshot_bytes,
+            log_bytes: self.wal.len_bytes(),
+            node_count: self.graph.node_count(),
+            edge_count: self.graph.edge_count(),
+            interned_strings: self.interner.len(),
+            interned_bytes: self.interner.payload_bytes() as u64,
+        }
+    }
+
+    /// Durability policy the store was opened with.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+}
+
+/// On-disk footprint summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Bytes in the snapshot file.
+    pub snapshot_bytes: u64,
+    /// Committed bytes in the log.
+    pub log_bytes: u64,
+    /// Nodes in the store.
+    pub node_count: usize,
+    /// Edges in the store.
+    pub edge_count: usize,
+    /// Distinct interned strings.
+    pub interned_strings: usize,
+    /// Total interned string payload bytes.
+    pub interned_bytes: u64,
+}
+
+impl SizeReport {
+    /// Total on-disk bytes (snapshot + log).
+    pub fn total_bytes(&self) -> u64 {
+        self.snapshot_bytes + self.log_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "bp-store-test-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    /// Builds a small history; returns (dir kept alive, node ids).
+    fn build(dir: &TempDir) -> (ProvenanceStore, Vec<NodeId>) {
+        let mut store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        let term = store
+            .add_node(NodeKind::SearchTerm, "rosebud", t(1), &[])
+            .unwrap();
+        let search = store.add_visit("http://se/?q=rosebud", t(2)).unwrap();
+        store
+            .add_edge(search, term, EdgeKind::SearchResult, t(2))
+            .unwrap();
+        let kane = store.add_visit("http://films/kane", t(3)).unwrap();
+        store.add_edge(kane, search, EdgeKind::Link, t(3)).unwrap();
+        store.set_node_attr(kane, "title", "Citizen Kane").unwrap();
+        store.close_node(search, t(4)).unwrap();
+        (store, vec![term, search, kane])
+    }
+
+    #[test]
+    fn basic_mutations_update_graph_and_indexes() {
+        let dir = TempDir::new("basic");
+        let (store, ids) = build(&dir);
+        assert_eq!(store.graph().node_count(), 3);
+        assert_eq!(store.graph().edge_count(), 2);
+        assert_eq!(store.keys().get("http://films/kane"), &[ids[2]]);
+        assert_eq!(
+            store.graph().node(ids[2]).unwrap().attrs().get_str("title"),
+            Some("Citizen Kane")
+        );
+        assert_eq!(
+            store.graph().node(ids[1]).unwrap().interval().close(),
+            Some(t(4))
+        );
+        // Time index was updated by the close.
+        let hits = store.times().overlapping(&TimeInterval::closed(t(5), t(6)));
+        assert!(!hits.contains(&ids[1]), "search closed at t=4");
+        assert!(hits.contains(&ids[2]), "kane still open");
+    }
+
+    #[test]
+    fn reopen_recovers_identical_state() {
+        let dir = TempDir::new("recover");
+        let (store, ids) = build(&dir);
+        let nodes_before: Vec<String> = store
+            .graph()
+            .nodes()
+            .map(|(_, n)| format!("{n:?}"))
+            .collect();
+        let edges_before: Vec<String> = store
+            .graph()
+            .edges()
+            .map(|(_, e)| format!("{e:?}"))
+            .collect();
+        drop(store);
+
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        let nodes_after: Vec<String> = store
+            .graph()
+            .nodes()
+            .map(|(_, n)| format!("{n:?}"))
+            .collect();
+        let edges_after: Vec<String> = store
+            .graph()
+            .edges()
+            .map(|(_, e)| format!("{e:?}"))
+            .collect();
+        assert_eq!(nodes_before, nodes_after);
+        assert_eq!(edges_before, edges_after);
+        assert_eq!(store.keys().get("http://films/kane"), &[ids[2]]);
+    }
+
+    #[test]
+    fn writes_after_recovery_continue_cleanly() {
+        let dir = TempDir::new("continue");
+        let (store, ids) = build(&dir);
+        drop(store);
+        let mut store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        let dl = store
+            .add_node(NodeKind::Download, "/tmp/kane.mp4", t(10), &[])
+            .unwrap();
+        store
+            .add_edge(dl, ids[2], EdgeKind::DownloadFrom, t(10))
+            .unwrap();
+        drop(store);
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.graph().node_count(), 4);
+        assert_eq!(store.graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn visits_version_automatically() {
+        let dir = TempDir::new("versions");
+        let mut store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        let v0 = store.add_visit("http://same/", t(1)).unwrap();
+        let v1 = store.add_visit("http://same/", t(2)).unwrap();
+        assert_ne!(v0, v1);
+        assert_eq!(store.graph().node(v1).unwrap().version(), Version::new(1));
+        let has_version_edge = store
+            .graph()
+            .parents(v1)
+            .any(|(e, p)| store.graph().edge(e).unwrap().kind() == EdgeKind::VersionOf && p == v0);
+        assert!(has_version_edge);
+        // Both visits share the key index entry.
+        assert_eq!(store.keys().get("http://same/"), &[v0, v1]);
+    }
+
+    #[test]
+    fn rejected_edges_do_not_pollute_the_log() {
+        let dir = TempDir::new("reject");
+        let mut store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        let a = store.add_visit("a", t(1)).unwrap();
+        assert!(store.add_edge(a, a, EdgeKind::Link, t(1)).is_err());
+        assert!(store
+            .add_edge(a, NodeId::new(99), EdgeKind::Link, t(1))
+            .is_err());
+        drop(store);
+        // Recovery must succeed — the bad edges never hit the log.
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovers() {
+        let dir = TempDir::new("snapshot");
+        let (mut store, ids) = build(&dir);
+        store.snapshot().unwrap();
+        let report = store.size_report();
+        assert!(report.snapshot_bytes > 0);
+        assert_eq!(report.log_bytes, 0, "log reset after snapshot");
+        // Post-snapshot writes land in the fresh log.
+        let dl = store
+            .add_node(NodeKind::Download, "/tmp/x", t(20), &[])
+            .unwrap();
+        store
+            .add_edge(dl, ids[2], EdgeKind::DownloadFrom, t(20))
+            .unwrap();
+        drop(store);
+
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.graph().node_count(), 4);
+        assert_eq!(store.graph().edge_count(), 3);
+        assert_eq!(
+            store.graph().node(ids[2]).unwrap().attrs().get_str("title"),
+            Some("Citizen Kane"),
+            "attributes folded into snapshot survive"
+        );
+        assert_eq!(
+            store.graph().node(ids[1]).unwrap().interval().close(),
+            Some(t(4)),
+            "close records folded into snapshot survive"
+        );
+    }
+
+    #[test]
+    fn double_snapshot_is_idempotent() {
+        let dir = TempDir::new("double-snap");
+        let (mut store, _) = build(&dir);
+        store.snapshot().unwrap();
+        let first = store.size_report().snapshot_bytes;
+        store.snapshot().unwrap();
+        let second = store.size_report().snapshot_bytes;
+        assert_eq!(first, second);
+        drop(store);
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.graph().node_count(), 3);
+    }
+
+    #[test]
+    fn torn_log_tail_loses_only_last_record() {
+        let dir = TempDir::new("torn");
+        let (store, _) = build(&dir);
+        let nodes = store.graph().node_count();
+        drop(store);
+        // Append garbage to the log (simulated torn write).
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.0.join(LOG_FILE))
+            .unwrap();
+        f.write_all(&[1, 2, 3]).unwrap();
+        drop(f);
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.graph().node_count(), nodes);
+    }
+
+    #[test]
+    fn size_report_totals() {
+        let dir = TempDir::new("sizes");
+        let (store, _) = build(&dir);
+        let report = store.size_report();
+        assert!(report.log_bytes > 0);
+        assert_eq!(report.node_count, 3);
+        assert_eq!(report.edge_count, 2);
+        assert!(report.interned_strings >= 4, "keys + attr key");
+        assert_eq!(report.total_bytes(), report.log_bytes);
+    }
+
+    #[test]
+    fn empty_store_opens_and_reopens() {
+        let dir = TempDir::new("empty");
+        {
+            let store = ProvenanceStore::open(&dir.0, SyncPolicy::OsManaged).unwrap();
+            assert_eq!(store.graph().node_count(), 0);
+        }
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::OsManaged).unwrap();
+        assert_eq!(store.graph().node_count(), 0);
+        assert_eq!(store.sync_policy(), SyncPolicy::OsManaged);
+    }
+
+    #[test]
+    fn redaction_hides_key_and_survives_recovery() {
+        let dir = TempDir::new("redact");
+        let (mut store, ids) = build(&dir);
+        let redacted = store.redact_key("http://films/kane").unwrap();
+        assert_eq!(redacted, vec![ids[2]]);
+        assert_eq!(
+            store.graph().node(ids[2]).unwrap().key(),
+            format!("[redacted:{}]", ids[2].index())
+        );
+        assert!(store.graph().node(ids[2]).unwrap().attrs().is_empty());
+        assert!(store.keys().get("http://films/kane").is_empty());
+        // Unknown keys are a no-op.
+        assert!(store.redact_key("http://never/").unwrap().is_empty());
+        drop(store);
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert!(store.keys().get("http://films/kane").is_empty());
+        assert!(store
+            .graph()
+            .node(ids[2])
+            .unwrap()
+            .key()
+            .starts_with("[redacted:"));
+        // Structure still intact for lineage.
+        assert_eq!(store.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_after_redaction_leaves_no_url_bytes_on_disk() {
+        let dir = TempDir::new("redact-snap");
+        let (mut store, _) = build(&dir);
+        store.redact_key("http://films/kane").unwrap();
+        store.snapshot().unwrap();
+        // Scan every byte the store has on disk for the secret URL.
+        let mut disk = Vec::new();
+        for entry in std::fs::read_dir(&dir.0).unwrap() {
+            disk.extend(std::fs::read(entry.unwrap().path()).unwrap());
+        }
+        let needle = b"films/kane";
+        let found = disk.windows(needle.len()).any(|w| w == needle.as_slice());
+        assert!(!found, "redacted URL must not survive compaction");
+        // And the store still works after the compact-interner swap.
+        drop(store);
+        let mut store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.graph().node_count(), 3);
+        let v = store.add_visit("http://new/", t(100)).unwrap();
+        drop(store);
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.graph().node(v).unwrap().key(), "http://new/");
+    }
+
+    #[test]
+    fn snapshot_compacts_dead_strings() {
+        let dir = TempDir::new("compact-strings");
+        let (mut store, _) = build(&dir);
+        let before = store.interner().len();
+        store.redact_key("http://se/?q=rosebud").unwrap();
+        store.snapshot().unwrap();
+        // The old URL is gone; redaction placeholders were added, so just
+        // assert the specific string is absent.
+        assert!(store.interner().lookup("http://se/?q=rosebud").is_none());
+        let _ = before;
+    }
+
+    #[test]
+    fn snapshot_format_mismatch_is_rejected() {
+        let dir = TempDir::new("snap-version");
+        let (mut store, _) = build(&dir);
+        store.snapshot().unwrap();
+        drop(store);
+        // Corrupt the header frame's payload to an alien version.
+        let path = dir.0.join("snapshot.bps");
+        let mut wal = Wal::open(&path, SyncPolicy::OsManaged).unwrap();
+        let frames = wal.read_all().unwrap().frames;
+        assert_eq!(frames[0], b"BPSNAP\x01".to_vec());
+        drop(wal);
+        let rebuilt = {
+            let alien = Wal::open(dir.0.join("alien.bps"), SyncPolicy::OsManaged);
+            let mut alien = alien.unwrap();
+            alien.append(b"BPSNAP\x63").unwrap();
+            for frame in &frames[1..] {
+                alien.append(frame).unwrap();
+            }
+            dir.0.join("alien.bps")
+        };
+        std::fs::rename(rebuilt, &path).unwrap();
+        let err = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap_err();
+        assert!(err.to_string().contains("format mismatch"), "{err}");
+    }
+
+    #[test]
+    fn batches_are_atomic_frames() {
+        let dir = TempDir::new("batch");
+        let mut store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        // One batch with a visit + attr + edge-worthy second node.
+        store.begin_batch();
+        let a = store.add_visit("http://a/", t(1)).unwrap();
+        store.set_node_attr(a, "title", "A").unwrap();
+        let b = store.add_visit("http://b/", t(2)).unwrap();
+        store.add_edge(b, a, EdgeKind::Link, t(2)).unwrap();
+        store.commit_batch().unwrap();
+        // A second, separate batch.
+        store.begin_batch();
+        store.add_visit("http://c/", t(3)).unwrap();
+        store.commit_batch().unwrap();
+        drop(store);
+
+        // The log holds exactly two frames: cut the file before the second
+        // frame's end and the FIRST batch must survive completely.
+        let log = dir.0.join("log.wal");
+        let mut wal = Wal::open(&log, SyncPolicy::OsManaged).unwrap();
+        let contents = wal.read_all().unwrap();
+        assert_eq!(contents.frames.len(), 2, "one frame per batch");
+        drop(wal);
+        let bytes = std::fs::read(&log).unwrap();
+        std::fs::write(&log, &bytes[..bytes.len() - 3]).unwrap();
+
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(
+            store.graph().node_count(),
+            2,
+            "batch 1 intact, batch 2 gone"
+        );
+        assert_eq!(store.graph().edge_count(), 1);
+        assert_eq!(
+            store.graph().node(a).unwrap().attrs().get_str("title"),
+            Some("A")
+        );
+        assert!(store.keys().get("http://c/").is_empty());
+    }
+
+    #[test]
+    fn empty_and_nested_batches_are_harmless() {
+        let dir = TempDir::new("batch-edge");
+        let mut store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        store.begin_batch();
+        store.begin_batch(); // nesting is a no-op
+        store.commit_batch().unwrap(); // empty batch writes nothing
+        store.commit_batch().unwrap(); // double-commit is a no-op
+        assert_eq!(store.size_report().log_bytes, 0);
+        // Snapshot mid-batch flushes it first.
+        store.begin_batch();
+        store.add_visit("http://x/", t(1)).unwrap();
+        store.snapshot().unwrap();
+        drop(store);
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.keys().get("http://x/").len(), 1);
+    }
+
+    #[test]
+    fn interner_survives_recovery() {
+        let dir = TempDir::new("intern");
+        let (store, _) = build(&dir);
+        let len_before = store.interner().len();
+        drop(store);
+        let store = ProvenanceStore::open(&dir.0, SyncPolicy::Always).unwrap();
+        assert_eq!(store.interner().len(), len_before);
+        assert!(store.interner().lookup("rosebud").is_some());
+    }
+}

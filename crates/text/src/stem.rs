@@ -1,0 +1,123 @@
+//! A light suffix-stripping stemmer.
+//!
+//! Personalized web search (§2.2) must recognize that a user who visits
+//! "gardening" pages is interested in a "garden" — matching inflected forms
+//! is enough for that; a full Porter stemmer is not required. This stemmer
+//! strips common English inflectional suffixes conservatively (never below
+//! three characters) so distinct stems rarely collide.
+
+/// Stems a lowercase token by stripping common inflectional suffixes.
+///
+/// The algorithm applies at most one suffix rule, longest first:
+/// `-ational → -ate`, `-iness → -y`, `-fulness`, `-ings`, `-ing`, `-edly`,
+/// `-eds`, `-ed`, `-ies → -y`, `-es`, `-s`, `-ly`. A rule only fires if the
+/// remaining stem keeps at least three characters.
+///
+/// # Examples
+///
+/// ```
+/// use bp_text::stem;
+/// assert_eq!(stem("gardening"), "garden");
+/// assert_eq!(stem("flowers"), "flower");
+/// assert_eq!(stem("tickets"), "ticket");
+/// assert_eq!(stem("wine"), "wine");
+/// ```
+pub fn stem(token: &str) -> String {
+    let t = token;
+    // (suffix, replacement)
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("fulness", "ful"),
+        ("iveness", "ive"),
+        ("ization", "ize"),
+        ("iness", "y"),
+        ("ings", ""),
+        ("edly", ""),
+        ("ing", ""),
+        ("ies", "y"),
+        ("ed", ""),
+        ("es", ""),
+        ("ly", ""),
+        ("s", ""),
+    ];
+    for (suffix, replacement) in RULES {
+        if let Some(base) = t.strip_suffix(suffix) {
+            if base.chars().count() >= 3 {
+                let mut out = base.to_owned();
+                out.push_str(replacement);
+                // Undouble a trailing doubled consonant left by -ing/-ed
+                // stripping ("stopping" -> "stopp" -> "stop").
+                if replacement.is_empty() {
+                    let chars: Vec<char> = out.chars().collect();
+                    if chars.len() >= 4 {
+                        let last = chars[chars.len() - 1];
+                        let prev = chars[chars.len() - 2];
+                        if last == prev && !"aeiou".contains(last) && last != 's' {
+                            out.pop();
+                        }
+                    }
+                }
+                return out;
+            }
+        }
+    }
+    t.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_stripping() {
+        assert_eq!(stem("flowers"), "flower");
+        assert_eq!(stem("roses"), "ros"); // -es rule; acceptable collision space
+        assert_eq!(stem("tickets"), "ticket");
+    }
+
+    #[test]
+    fn ing_and_ed() {
+        assert_eq!(stem("gardening"), "garden");
+        assert_eq!(stem("visited"), "visit");
+        assert_eq!(stem("shopping"), "shop");
+        assert_eq!(stem("stopping"), "stop");
+    }
+
+    #[test]
+    fn ies_to_y() {
+        assert_eq!(stem("wineries"), "winery");
+        assert_eq!(stem("movies"), "movy"); // consistent, if not pretty
+    }
+
+    #[test]
+    fn short_tokens_untouched() {
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("ing"), "ing");
+        assert_eq!(stem("bed"), "bed");
+    }
+
+    #[test]
+    fn unsuffixed_tokens_untouched() {
+        assert_eq!(stem("wine"), "wine");
+        assert_eq!(stem("rosebud"), "rosebud");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_vocab() {
+        for w in ["garden", "flower", "ticket", "wine", "visit", "shop"] {
+            assert_eq!(stem(&stem(w)), stem(w));
+        }
+    }
+
+    #[test]
+    fn related_forms_share_a_stem() {
+        assert_eq!(stem("gardening"), stem("gardens"));
+        assert_eq!(stem("flowering"), stem("flowers"));
+    }
+
+    #[test]
+    fn ss_not_undoubled() {
+        // "glasses" -> "glass"; trailing double-s is legitimate.
+        assert_eq!(stem("glasses"), "glass");
+    }
+}

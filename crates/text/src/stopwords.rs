@@ -1,0 +1,68 @@
+//! English + web-navigation stopwords.
+//!
+//! Besides the usual English function words, history text is saturated with
+//! URL scaffolding ("http", "www", "com", "html") that carries no retrieval
+//! signal; filtering it keeps term-frequency analysis (§4, "Personalizing
+//! Web Search") focused on the user's actual vocabulary.
+
+/// Sorted list of stopwords; binary-searched by [`is_stopword`].
+static STOPWORDS: &[&str] = &[
+    "about", "after", "all", "also", "and", "any", "are", "because", "been", "before", "but",
+    "can", "com", "could", "did", "does", "example", "for", "from", "had", "has", "have", "her",
+    "here", "him", "his", "how", "htm", "html", "http", "https", "index", "into", "its", "just",
+    "more", "most", "net", "not", "now", "off", "only", "org", "other", "our", "out", "over",
+    "page", "php", "she", "should", "site", "some", "such", "than", "that", "the", "their", "them",
+    "then", "there", "these", "they", "this", "those", "through", "under", "very", "was", "were",
+    "what", "when", "where", "which", "while", "who", "why", "will", "with", "would", "www", "you",
+    "your",
+];
+
+/// Returns `true` if `token` (already lowercased) is a stopword.
+///
+/// # Examples
+///
+/// ```
+/// use bp_text::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(is_stopword("http"));
+/// assert!(!is_stopword("rosebud"));
+/// ```
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted, STOPWORDS,
+            "STOPWORDS must stay sorted for binary search"
+        );
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "with", "http", "www", "com", "html"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["rosebud", "wine", "flower", "kane", "gardening"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_by_contract() {
+        // Callers lowercase first; uppercase input is simply not found.
+        assert!(!is_stopword("The"));
+    }
+}

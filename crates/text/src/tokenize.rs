@@ -1,0 +1,98 @@
+//! Tokenization of page titles, URLs, and synthetic page content.
+//!
+//! History search is first of all *textual* search over "the search term in
+//! both its title and URL" (§2.1); the tokenizer therefore understands URL
+//! punctuation (slashes, dots, query separators) as word breaks in addition
+//! to ordinary whitespace.
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// Any non-alphanumeric character is a separator, so URLs tokenize
+/// naturally: `http://films.example/kane?ref=rosebud` yields
+/// `["http", "films", "example", "kane", "ref", "rosebud"]`.
+///
+/// # Examples
+///
+/// ```
+/// use bp_text::tokenize;
+/// assert_eq!(tokenize("Citizen Kane (1941)"), vec!["citizen", "kane", "1941"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            // Lowercasing can emit combining marks that are not themselves
+            // alphanumeric (e.g. 'İ' → "i\u{307}"); keep tokens pure.
+            current.extend(c.to_lowercase().filter(|lc| lc.is_alphanumeric()));
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Tokenizes and drops stopwords and very short tokens; the standard
+/// pipeline for indexing and querying.
+///
+/// # Examples
+///
+/// ```
+/// use bp_text::significant_tokens;
+/// let toks = significant_tokens("the rosebud of a sled");
+/// assert_eq!(toks, vec!["rosebud", "sled"]);
+/// ```
+pub fn significant_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.len() >= 3 && !crate::stopwords::is_stopword(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        assert_eq!(tokenize("a b,c.d"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("RoseBud"), vec!["rosebud"]);
+    }
+
+    #[test]
+    fn url_tokenization() {
+        assert_eq!(
+            tokenize("http://films.example/kane?ref=rosebud"),
+            vec!["http", "films", "example", "kane", "ref", "rosebud"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        assert_eq!(tokenize("room 101"), vec!["room", "101"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Überraschung"), vec!["überraschung"]);
+    }
+
+    #[test]
+    fn significant_drops_stopwords_and_short_tokens() {
+        let toks = significant_tokens("The quick ox at a web");
+        assert_eq!(toks, vec!["quick", "web"]);
+    }
+}

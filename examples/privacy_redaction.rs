@@ -1,0 +1,110 @@
+//! Privacy through local processing and redaction (§4).
+//!
+//! The paper's closing argument: "the approach we take is to use browser
+//! provenance to increase user privacy by processing the data on the
+//! user's machine." This example shows the two privacy mechanisms this
+//! implementation provides:
+//!
+//! 1. personalization that never ships history anywhere (see also the
+//!    `personalized_search` example), and
+//! 2. **redaction** — scrubbing a sensitive URL from the store: content
+//!    leaves the graph, the text index, and (after compaction) the bytes
+//!    on disk, while the surrounding lineage structure survives.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example privacy_redaction
+//! ```
+
+use bp_core::{BrowserEvent, CaptureConfig, NavigationCause, ProvenanceBrowser, TabId};
+use bp_graph::Timestamp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("bp-example-privacy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut browser = ProvenanceBrowser::open(&dir, CaptureConfig::default())?;
+    let t = |s: i64| Timestamp::from_secs(s);
+    let secret = "http://clinic.example/appointment-results";
+
+    browser.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))?;
+    browser.ingest(&BrowserEvent::navigate(
+        t(1),
+        TabId(0),
+        "http://news.example/morning",
+        Some("Morning news"),
+        NavigationCause::Typed,
+    ))?;
+    browser.ingest(&BrowserEvent::navigate(
+        t(60),
+        TabId(0),
+        secret,
+        Some("Appointment results — Clinic"),
+        NavigationCause::Link,
+    ))?;
+    browser.ingest(&BrowserEvent::navigate(
+        t(300),
+        TabId(0),
+        "http://recipes.example/dinner",
+        Some("Dinner recipes"),
+        NavigationCause::Typed,
+    ))?;
+
+    println!("before redaction:");
+    println!(
+        "  search 'appointment' hits: {}",
+        browser.text_index().search("appointment").len()
+    );
+    println!(
+        "  search 'clinic' hits     : {}",
+        browser.text_index().search("clinic").len()
+    );
+    println!(
+        "  visits of the page       : {}",
+        browser.visit_count(secret)
+    );
+
+    // The user redacts the sensitive page.
+    let scrubbed = browser.redact(secret)?;
+    browser.snapshot()?; // compaction scrubs the string table on disk too
+    println!("\nredacted {scrubbed} history objects and compacted the store");
+
+    println!("\nafter redaction:");
+    println!(
+        "  search 'appointment' hits: {}",
+        browser.text_index().search("appointment").len()
+    );
+    println!(
+        "  search 'clinic' hits     : {}",
+        browser.text_index().search("clinic").len()
+    );
+    println!(
+        "  visits of the page       : {}",
+        browser.visit_count(secret)
+    );
+    assert!(browser.text_index().search("appointment").is_empty());
+    assert_eq!(browser.visit_count(secret), 0);
+
+    // Graph structure (the *shape* of the session) survives for lineage.
+    println!(
+        "  graph: {} nodes, {} edges (structure preserved, acyclic: {})",
+        browser.graph().node_count(),
+        browser.graph().edge_count(),
+        browser.graph().verify_acyclic()
+    );
+
+    // Nothing on disk contains the URL anymore.
+    let mut disk = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        disk.extend(std::fs::read(entry?.path())?);
+    }
+    let gone = !disk
+        .windows(b"clinic.example".len())
+        .any(|w| w == b"clinic.example".as_slice());
+    println!("  on-disk bytes free of the URL: {gone}");
+    assert!(gone);
+
+    println!("\nThe sensitive page is unfindable locally and absent from disk (§4).");
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Time-contextual history search (§2.3).
+//!
+//! The wine enthusiast wants to find one specific wine page she saw weeks
+//! ago. A plain history search for "wine" returns dozens of pages — but
+//! she remembers she was *also shopping for plane tickets at the time*.
+//! Because this browser records page close times and temporal-overlap
+//! relationships (§3.2), "wine associated with plane tickets" pins the
+//! page down.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example time_contextual
+//! ```
+
+use bp_core::{CaptureConfig, ProvenanceBrowser};
+use bp_query::{time_contextual_search, TimeContextConfig};
+use bp_sim::scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("bp-example-timectx-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (_web, scenario) = scenario::wine_and_tickets(99);
+    let mut browser = ProvenanceBrowser::open(&dir, CaptureConfig::default())?;
+    browser.ingest_all(&scenario.events)?;
+
+    // The frustrating baseline: every wine page she ever visited.
+    let all_wine = browser.text_index().search("wine");
+    println!(
+        "plain history search for \"wine\": {} matching objects — too many\n",
+        all_wine.len()
+    );
+
+    // The natural query: "wine associated with plane tickets".
+    let result = time_contextual_search(
+        &browser,
+        "wine",
+        "plane tickets",
+        &TimeContextConfig::default(),
+    );
+    println!(
+        "\"wine associated with plane tickets\": {} hits in {:?}",
+        result.hits.len(),
+        result.elapsed
+    );
+    for hit in &result.hits {
+        println!(
+            "  {:>7.3}  {}  {}",
+            hit.score,
+            hit.key,
+            hit.title.as_deref().unwrap_or("")
+        );
+    }
+
+    let target = &scenario.markers.target_url;
+    assert!(
+        result.contains_key(target),
+        "the remembered page must surface"
+    );
+    assert!(
+        result.hits.len() < all_wine.len(),
+        "time context must narrow the candidates"
+    );
+    println!(
+        "\nfound the remembered bottle page ({target})\n\
+         narrowed from {} candidates to {} (§2.3).",
+        all_wine.len(),
+        result.hits.len()
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

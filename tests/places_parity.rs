@@ -1,0 +1,171 @@
+//! Parity between the Places baseline and the provenance store: both
+//! ingest the identical event stream, so everything Places records must
+//! agree with the provenance graph's view — and the provenance store must
+//! record strictly more (the §3.2–3.3 gaps).
+
+use bp_core::{CaptureConfig, EventKind, NavigationCause, ProvenanceBrowser};
+use bp_graph::NodeKind;
+use bp_places::{PlacesDb, PlacesIngester};
+use bp_sim::calibrate;
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "bp-it-parity-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn build(
+    seed: u64,
+    days: u32,
+    tag: &str,
+) -> (
+    TempDir,
+    ProvenanceBrowser,
+    PlacesDb,
+    Vec<bp_core::BrowserEvent>,
+) {
+    let web = calibrate::paper_web(seed);
+    let events = calibrate::days_history(&web, seed, days);
+    let dir = TempDir::new(tag);
+    let mut browser = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+    browser.ingest_all(&events).unwrap();
+    let mut places = PlacesDb::new();
+    let mut ingester = PlacesIngester::new();
+    ingester.ingest_all(&mut places, &events).unwrap();
+    (dir, browser, places, events)
+}
+
+#[test]
+fn unique_urls_agree() {
+    let (_dir, browser, places, events) = build(51, 3, "urls");
+    // URLs Places knows = URLs navigated or downloaded-from or embedded.
+    let mut expected: HashSet<String> = HashSet::new();
+    for e in &events {
+        match &e.kind {
+            EventKind::Navigate { url, .. } | EventKind::EmbedLoad { url, .. } => {
+                expected.insert(url.clone());
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(places.places().len(), expected.len());
+    // The provenance store's Page objects cover the same URL set for
+    // top-level navigations (embeds become visits without page objects,
+    // so Pages ⊆ Places URLs).
+    let graph = browser.graph();
+    for page in graph.nodes_of_kind(NodeKind::Page) {
+        let url = graph.node(page).unwrap().key().to_owned();
+        assert!(
+            expected.contains(&url),
+            "page object {url} unknown to Places"
+        );
+    }
+}
+
+#[test]
+fn visit_counts_agree_for_top_level_navigations() {
+    let (_dir, browser, places, events) = build(52, 3, "counts");
+    // Count navigations per URL from the raw stream (downloads also bump
+    // Places' visit table, so compare against navigations only).
+    let mut nav_counts: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    for e in &events {
+        if let EventKind::Navigate { url, .. } = &e.kind {
+            *nav_counts.entry(url.as_str()).or_insert(0) += 1;
+        }
+    }
+    for (url, &count) in nav_counts.iter().take(200) {
+        assert_eq!(
+            browser.visit_count(url),
+            count,
+            "provenance visit versions for {url}"
+        );
+        let place = places.history_search(url);
+        let _ = place; // substring search is lossy; the count check above
+                       // is the real assertion
+    }
+}
+
+#[test]
+fn provenance_store_records_strictly_more_objects() {
+    let (_dir, browser, places, _events) = build(53, 3, "more");
+    let graph = browser.graph();
+    // Places rows ≈ places + visits + bookmarks + inputs + annos.
+    let places_rows = places.places().len()
+        + places.visits().len()
+        + places.bookmarks().len()
+        + places.input_history().len()
+        + places.annos().len();
+    let prov_objects = graph.node_count() + graph.edge_count();
+    assert!(
+        prov_objects > places_rows,
+        "provenance ({prov_objects}) must exceed Places ({places_rows})"
+    );
+    // The specific §3.3 gaps: Places has no search terms or form entries.
+    assert!(graph.nodes_of_kind(NodeKind::SearchTerm).count() > 0);
+    assert!(graph.nodes_of_kind(NodeKind::FormEntry).count() > 0);
+}
+
+#[test]
+fn typed_navigations_connected_only_in_the_provenance_store() {
+    let (_dir, browser, places, events) = build(54, 3, "typed");
+    // Find a typed navigation that had a previous page in the same tab.
+    let mut last_url: std::collections::HashMap<u32, String> = std::collections::HashMap::new();
+    let mut witnessed = false;
+    for e in &events {
+        if let EventKind::Navigate {
+            tab, url, cause, ..
+        } = &e.kind
+        {
+            if matches!(cause, NavigationCause::Typed) && last_url.contains_key(&tab.0) {
+                witnessed = true;
+            }
+            last_url.insert(tab.0, url.clone());
+        }
+    }
+    assert!(witnessed, "the stream contains typed navs with context");
+    // Provenance store has typed-location edges; Places' typed visits
+    // have from_visit = 0.
+    let graph = browser.graph();
+    let typed_edges = graph
+        .edges()
+        .filter(|(_, e)| e.kind() == bp_graph::EdgeKind::TypedLocation)
+        .count();
+    assert!(typed_edges > 0, "§3.2 relationships captured");
+    let typed_with_referrer = places
+        .visits()
+        .iter()
+        .filter(|(_, row)| {
+            row[3].as_int() == Some(bp_places::Transition::Typed as i64)
+                && row[0].as_int() != Some(0)
+        })
+        .count();
+    assert_eq!(typed_with_referrer, 0, "Places drops the relationship");
+}
+
+#[test]
+fn storage_overhead_is_positive_and_sane() {
+    let (_dir, mut browser, places, _events) = build(55, 5, "overhead");
+    browser.snapshot().unwrap();
+    let prov = browser.size_report().total_bytes() as f64;
+    let base = places.encoded_size() as f64;
+    let overhead = (prov - base) / base * 100.0;
+    assert!(overhead > 0.0, "provenance must cost more: {overhead:.1}%");
+    assert!(
+        overhead < 300.0,
+        "but the same order of magnitude (paper: 39.5%): {overhead:.1}%"
+    );
+}

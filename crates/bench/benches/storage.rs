@@ -67,7 +67,7 @@ fn bench_recovery(c: &mut Criterion) {
     let (profile, browser) = fixtures::ingest(&history, CaptureConfig::default(), "bench-recover");
     let nodes = browser.graph().node_count();
     drop(browser);
-    c.bench_function(&format!("recovery_replay_{nodes}_nodes"), |b| {
+    c.bench_function(format!("recovery_replay_{nodes}_nodes"), |b| {
         b.iter(|| {
             bp_core::ProvenanceBrowser::open(profile.path(), CaptureConfig::default()).unwrap()
         })

@@ -9,6 +9,7 @@ use bp_core::{CaptureConfig, ProvenanceBrowser};
 use bp_graph::stats::{connected_components, second_class_fraction, stats};
 use bp_graph::traverse::Budget;
 use bp_graph::{EdgeKind, NodeKind};
+use bp_obs::ClockHandle;
 use bp_places::{PlacesDb, PlacesIngester};
 use bp_query::{
     contextual_history_search, downloads_descending_from, find_download,
@@ -18,7 +19,7 @@ use bp_query::{
 use bp_sim::scenario;
 use bp_sim::web::TOPICS;
 use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Default duration used by the paper-scale experiments.
 pub const FULL_DAYS: u32 = 79;
@@ -150,7 +151,7 @@ pub fn e2_query_latency(days: u32) -> String {
     let pconfig = PersonalizeConfig::default();
     let mut personal = Vec::new();
     for q in &queries {
-        let t0 = Instant::now();
+        let t0 = ClockHandle::real().start();
         let _ = personalize_query(&browser, q, &pconfig);
         personal.push(t0.elapsed());
     }
@@ -173,7 +174,7 @@ pub fn e2_query_latency(days: u32) -> String {
     };
     let mut lineage = Vec::new();
     for dl in browser.graph().nodes_of_kind(NodeKind::Download).take(100) {
-        let t0 = Instant::now();
+        let t0 = ClockHandle::real().start();
         let _ = first_recognizable_ancestor(&browser, dl, &lconfig);
         lineage.push(t0.elapsed());
     }
@@ -453,7 +454,7 @@ pub fn a1_versioning(days: u32) -> String {
     let (qa, qb) = (qa.to_owned(), qb.to_owned());
 
     // Flat-scan cost.
-    let t0 = Instant::now();
+    let t0 = ClockHandle::real().start();
     let mut flat_hits = 0usize;
     for _ in 0..100 {
         flat_hits = traversal_table
@@ -466,7 +467,7 @@ pub fn a1_versioning(days: u32) -> String {
     // Versioned-graph cost: look up the URL's visit versions via the key
     // index, walk only their out-edges.
     let keys = browser.store().keys();
-    let t0 = Instant::now();
+    let t0 = ClockHandle::real().start();
     let mut graph_hits = 0usize;
     for _ in 0..100 {
         graph_hits = keys
@@ -513,11 +514,11 @@ pub fn a2_factorization(days: u32) -> String {
     );
     let (_h, _profile, browser) = paper_fixture(days);
     let graph = browser.graph();
-    let t0 = Instant::now();
+    let t0 = ClockHandle::real().start();
     let fact = bp_storage::factorize(graph);
     let encode_time = t0.elapsed();
     let raw = bp_storage::raw_structure_size(graph);
-    let t0 = Instant::now();
+    let t0 = ClockHandle::real().start();
     let decoded = bp_storage::defactorize(&fact).expect("roundtrip");
     let decode_time = t0.elapsed();
     assert_eq!(decoded.len(), graph.edge_count());
@@ -789,10 +790,10 @@ pub fn a5_algorithms(trials: u64, days: u32) -> String {
     let mut samples = (Vec::new(), Vec::new());
     for topic in TOPICS.iter().take(20) {
         let q = topic.vocabulary[0];
-        let t0 = Instant::now();
+        let t0 = ClockHandle::real().start();
         let _ = contextual_history_search(&browser, q, &ContextualConfig::default());
         samples.0.push(t0.elapsed());
-        let t0 = Instant::now();
+        let t0 = ClockHandle::real().start();
         let _ =
             contextual_history_search_ppr(&browser, q, &ContextualConfig::default(), &ppr_config);
         samples.1.push(t0.elapsed());

@@ -8,6 +8,7 @@ use bp_core::{eventlog, CaptureConfig, ProvenanceBrowser};
 use bp_graph::dot::{to_dot, DotOptions};
 use bp_graph::stats::stats;
 use bp_graph::traverse::Budget;
+use bp_obs::{expo, trace, Obs};
 use bp_query::{
     contextual_history_search, downloads_descending_from, find_download,
     first_recognizable_ancestor, personalize_query, textual_history_search, time_contextual_search,
@@ -15,6 +16,7 @@ use bp_query::{
 };
 use bp_sim::calibrate;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Usage text.
@@ -24,6 +26,8 @@ USAGE:
   browserprov generate  --days N --seed S --out FILE   generate a simulated event log
   browserprov ingest    --profile DIR FILE             ingest an event log into a profile
   browserprov stats     --profile DIR                  graph and storage statistics
+  browserprov stats     --profile DIR --metrics        live metrics (Prometheus text + journal);
+                                                       --metrics-json for JSON exposition
   browserprov search    --profile DIR QUERY [--textual|--ppr|--hits]
                                                        history search: contextual (default),
                                                        plain textual, PageRank, or HITS-blended
@@ -43,6 +47,8 @@ USAGE:
 Common options:
   --profile DIR   profile directory (default ./profile)
   --budget MS     query deadline in milliseconds (default unlimited)
+  --trace         (search/personalize/when/lineage/query) print a span
+                  tree with per-stage timings after the results
 ";
 
 /// Runs one command, returning its textual output.
@@ -88,6 +94,45 @@ fn budget(args: &Args) -> Budget {
     budget
 }
 
+/// Where the profile persists its metrics between CLI invocations.
+fn metrics_path(args: &Args) -> PathBuf {
+    PathBuf::from(args.opt("profile", "./profile")).join("metrics.snapshot")
+}
+
+/// Merges the profile's persisted metrics into the live registry. Each
+/// CLI invocation is one short-lived process; importing first means
+/// counters and histograms accumulate across runs, while gauges are
+/// overwritten by whatever the freshly opened store publishes.
+fn import_metrics(args: &Args) {
+    if let Ok(text) = std::fs::read_to_string(metrics_path(args)) {
+        let _ = expo::import_snapshot(Obs::global().registry(), &text);
+    }
+}
+
+/// Writes the live registry back next to the profile (best-effort).
+fn export_metrics(args: &Args) {
+    let snap = Obs::global().registry().snapshot();
+    let _ = std::fs::write(metrics_path(args), expo::export_snapshot(&snap));
+}
+
+/// Runs `f` with span collection enabled when `--trace` was passed and
+/// returns its result plus the rendered span tree (empty without the
+/// flag).
+fn with_trace<R>(args: &Args, f: impl FnOnce() -> R) -> (R, String) {
+    if !args.has("trace") {
+        return (f(), String::new());
+    }
+    trace::set_enabled(true);
+    let _ = trace::take_roots();
+    let result = f();
+    trace::set_enabled(false);
+    let mut rendered = String::from("\ntrace:\n");
+    for root in trace::take_roots() {
+        rendered.push_str(&root.render());
+    }
+    (result, rendered)
+}
+
 fn generate(args: &Args) -> Result<String, String> {
     let days = args.opt_u64("days", 7) as u32;
     let seed = args.opt_u64("seed", 42);
@@ -112,9 +157,11 @@ fn ingest(args: &Args) -> Result<String, String> {
         .ok_or("ingest requires an event-log file argument")?;
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let events = eventlog::parse_log(&text).map_err(|e| e.to_string())?;
+    import_metrics(args);
     let mut browser = open(args)?;
     let n = browser.ingest_all(&events).map_err(|e| e.to_string())?;
     browser.sync().map_err(|e| e.to_string())?;
+    export_metrics(args);
     let report = browser.size_report();
     Ok(format!(
         "ingested {} events: {} nodes, {} edges, {} bytes on disk",
@@ -126,6 +173,9 @@ fn ingest(args: &Args) -> Result<String, String> {
 }
 
 fn stats_cmd(args: &Args) -> Result<String, String> {
+    if args.has("metrics") || args.has("metrics-json") {
+        return metrics_report(args);
+    }
     let browser = open(args)?;
     let s = stats(browser.graph());
     let report = browser.size_report();
@@ -155,31 +205,80 @@ fn stats_cmd(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `stats --metrics[-json]`: the full observability report. Restores the
+/// profile's accumulated metrics, exercises each §2 use-case query path
+/// once so its latency histogram and the deadline SLO counters hold fresh
+/// samples, then renders every metric plus the event journal.
+fn metrics_report(args: &Args) -> Result<String, String> {
+    import_metrics(args);
+    let browser = open(args)?;
+    let contextual = ContextualConfig {
+        budget: budget(args),
+        ..ContextualConfig::default()
+    };
+    // Vocabulary guaranteed by the simulator's topic lists; on an empty
+    // or foreign profile these simply record near-zero-hit samples.
+    let _ = contextual_history_search(&browser, "news", &contextual);
+    let _ = personalize_query(&browser, "news", &PersonalizeConfig::default());
+    let _ = time_contextual_search(&browser, "news", "software", &TimeContextConfig::default());
+    if let Some(download) = browser
+        .graph()
+        .nodes_of_kind(bp_graph::NodeKind::Download)
+        .next()
+    {
+        let config = LineageConfig {
+            budget: budget(args),
+            ..LineageConfig::default()
+        };
+        let _ = first_recognizable_ancestor(&browser, download, &config);
+    }
+    let snap = Obs::global().registry().snapshot();
+    let mut out = if args.has("metrics-json") {
+        expo::render_json(&snap)
+    } else {
+        expo::render_prometheus(&snap)
+    };
+    if !args.has("metrics-json") {
+        let events = Obs::global().journal().events();
+        if !events.is_empty() {
+            out.push_str("\n# journal\n");
+            for e in events {
+                let _ = writeln!(out, "# [{:?}] {}", e.level, e.message);
+            }
+        }
+    }
+    export_metrics(args);
+    Ok(out)
+}
+
 fn search(args: &Args) -> Result<String, String> {
     let query = args.positional.join(" ");
     if query.is_empty() {
         return Err("search requires a query".to_owned());
     }
+    import_metrics(args);
     let browser = open(args)?;
     let mut config = ContextualConfig {
         budget: budget(args),
         ..ContextualConfig::default()
     };
-    let result = if args.has("textual") {
-        textual_history_search(&browser, &query, &config)
-    } else if args.has("ppr") {
-        bp_query::contextual_history_search_ppr(
-            &browser,
-            &query,
-            &config,
-            &bp_graph::pagerank::PageRankConfig::default(),
-        )
-    } else {
-        if args.has("hits") {
-            config.hits_weight = 1.0;
+    if args.has("hits") {
+        config.hits_weight = 1.0;
+    }
+    let (result, traced) = with_trace(args, || {
+        if args.has("textual") {
+            textual_history_search(&browser, &query, &config)
+        } else if args.has("ppr") {
+            bp_query::contextual_history_search_ppr(
+                &browser,
+                &query,
+                &config,
+                &bp_graph::pagerank::PageRankConfig::default(),
+            )
+        } else {
+            contextual_history_search(&browser, &query, &config)
         }
-        contextual_history_search(&browser, &query, &config)
-    };
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -198,6 +297,8 @@ fn search(args: &Args) -> Result<String, String> {
             hit.title.as_deref().unwrap_or("")
         );
     }
+    out.push_str(&traced);
+    export_metrics(args);
     Ok(out)
 }
 
@@ -206,9 +307,12 @@ fn personalize(args: &Args) -> Result<String, String> {
     if query.is_empty() {
         return Err("personalize requires a query".to_owned());
     }
+    import_metrics(args);
     let browser = open(args)?;
-    let expanded = personalize_query(&browser, &query, &PersonalizeConfig::default());
-    Ok(if expanded.is_unchanged() {
+    let (expanded, traced) = with_trace(args, || {
+        personalize_query(&browser, &query, &PersonalizeConfig::default())
+    });
+    let mut out = if expanded.is_unchanged() {
         format!("no history context for {query:?}; query unchanged")
     } else {
         format!(
@@ -216,7 +320,10 @@ fn personalize(args: &Args) -> Result<String, String> {
             expanded.to_query_string(),
             expanded.added_terms.join(", ")
         )
-    })
+    };
+    out.push_str(&traced);
+    export_metrics(args);
+    Ok(out)
 }
 
 fn when(args: &Args) -> Result<String, String> {
@@ -225,13 +332,16 @@ fn when(args: &Args) -> Result<String, String> {
     if subject.is_empty() || companion.is_empty() {
         return Err("when requires SUBJECT and --with COMPANION".to_owned());
     }
+    import_metrics(args);
     let browser = open(args)?;
-    let result = time_contextual_search(
-        &browser,
-        &subject,
-        &companion,
-        &TimeContextConfig::default(),
-    );
+    let (result, traced) = with_trace(args, || {
+        time_contextual_search(
+            &browser,
+            &subject,
+            &companion,
+            &TimeContextConfig::default(),
+        )
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -248,6 +358,8 @@ fn when(args: &Args) -> Result<String, String> {
             hit.title.as_deref().unwrap_or("")
         );
     }
+    out.push_str(&traced);
+    export_metrics(args);
     Ok(out)
 }
 
@@ -256,6 +368,7 @@ fn lineage(args: &Args) -> Result<String, String> {
         .positional
         .first()
         .ok_or("lineage requires a download file path")?;
+    import_metrics(args);
     let browser = open(args)?;
     let download =
         find_download(&browser, path).ok_or_else(|| format!("no download recorded for {path}"))?;
@@ -263,7 +376,10 @@ fn lineage(args: &Args) -> Result<String, String> {
         budget: budget(args),
         ..LineageConfig::default()
     };
-    match first_recognizable_ancestor(&browser, download, &config) {
+    let (answer, traced) = with_trace(args, || {
+        first_recognizable_ancestor(&browser, download, &config)
+    });
+    let result = match answer {
         Some(answer) => {
             let mut out = String::new();
             let _ = writeln!(
@@ -280,12 +396,15 @@ fn lineage(args: &Args) -> Result<String, String> {
                     let _ = writeln!(out, "  [{}] {}", n.kind(), n.key());
                 }
             }
+            out.push_str(&traced);
             Ok(out)
         }
         None => Ok(format!(
-            "no recognizable ancestor found for {path} (within budget)"
+            "no recognizable ancestor found for {path} (within budget){traced}"
         )),
-    }
+    };
+    export_metrics(args);
+    result
 }
 
 fn whence(args: &Args) -> Result<String, String> {
@@ -322,8 +441,10 @@ fn query_cmd(args: &Args) -> Result<String, String> {
     if text.is_empty() {
         return Err("query requires a query string".to_owned());
     }
+    import_metrics(args);
     let browser = open(args)?;
-    let rows = bp_query::ql::run(&browser, &text, &budget(args)).map_err(|e| e.to_string())?;
+    let (rows, traced) = with_trace(args, || bp_query::ql::run(&browser, &text, &budget(args)));
+    let rows = rows.map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -339,6 +460,8 @@ fn query_cmd(args: &Args) -> Result<String, String> {
             row.node, row.depth, row.kind, row.key
         );
     }
+    out.push_str(&traced);
+    export_metrics(args);
     Ok(out)
 }
 
@@ -381,8 +504,10 @@ fn dot(args: &Args) -> Result<String, String> {
 }
 
 fn snapshot(args: &Args) -> Result<String, String> {
+    import_metrics(args);
     let mut browser = open(args)?;
     browser.snapshot().map_err(|e| e.to_string())?;
+    export_metrics(args);
     let report = browser.size_report();
     Ok(format!(
         "snapshot written: {} bytes (log reset)",
@@ -410,13 +535,16 @@ fn redact(args: &Args) -> Result<String, String> {
         .positional
         .first()
         .ok_or("redact requires a URL/query/path to scrub")?;
+    import_metrics(args);
     let mut browser = open(args)?;
     let n = browser.redact(key).map_err(|e| e.to_string())?;
     if n == 0 {
+        export_metrics(args);
         return Ok(format!("nothing in history matches {key:?}"));
     }
     // Compact immediately so the string leaves the disk too.
     browser.snapshot().map_err(|e| e.to_string())?;
+    export_metrics(args);
     Ok(format!(
         "redacted {n} history objects for {key:?}; store compacted (content scrubbed from disk)"
     ))

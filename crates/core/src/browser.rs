@@ -9,6 +9,7 @@ use crate::capture::{CaptureConfig, CaptureEngine, CaptureOutcome};
 use crate::error::CoreResult;
 use crate::event::BrowserEvent;
 use bp_graph::{NodeId, NodeKind, ProvenanceGraph};
+use bp_obs::Obs;
 use bp_storage::{ProvenanceStore, SizeReport, SyncPolicy};
 use bp_text::InvertedIndex;
 use std::path::Path;
@@ -65,7 +66,22 @@ impl ProvenanceBrowser {
         config: CaptureConfig,
         policy: SyncPolicy,
     ) -> CoreResult<Self> {
-        let store = ProvenanceStore::open(dir, policy)?;
+        Self::open_with_obs(dir, config, policy, Obs::global())
+    }
+
+    /// [`open`](Self::open) reporting into an explicit [`Obs`] handle.
+    /// Tests asserting exact metric values pass [`Obs::isolated`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates store open/recovery failures.
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        config: CaptureConfig,
+        policy: SyncPolicy,
+        obs: Obs,
+    ) -> CoreResult<Self> {
+        let store = ProvenanceStore::open_with_obs(dir, policy, obs)?;
         let engine = CaptureEngine::new(store, config);
         let mut browser = ProvenanceBrowser {
             engine,
@@ -76,6 +92,7 @@ impl ProvenanceBrowser {
         for id in ids {
             browser.index_node(id);
         }
+        browser.publish_index_gauges();
         Ok(browser)
     }
 
@@ -88,8 +105,18 @@ impl ProvenanceBrowser {
         let outcome = self.engine.handle(event)?;
         if let Some(id) = outcome.primary {
             self.index_node(id);
+            self.publish_index_gauges();
         }
         Ok(outcome)
+    }
+
+    /// Publishes the text-index size gauges (three atomic stores).
+    fn publish_index_gauges(&self) {
+        let obs = self.engine.store().obs();
+        obs.gauge("text.docs").set(self.index.doc_count() as i64);
+        obs.gauge("text.terms").set(self.index.term_count() as i64);
+        obs.gauge("text.postings")
+            .set(self.index.posting_count() as i64);
     }
 
     /// Feeds a whole event stream; stops at the first error.
@@ -161,6 +188,11 @@ impl ProvenanceBrowser {
         &self.index
     }
 
+    /// The observability handle this browser (and its store) reports into.
+    pub fn obs(&self) -> &Obs {
+        self.engine.store().obs()
+    }
+
     /// Number of visits recorded for `url`.
     pub fn visit_count(&self, url: &str) -> u32 {
         self.engine.visit_count(url)
@@ -180,6 +212,7 @@ impl ProvenanceBrowser {
         for node in &nodes {
             self.index.remove_document(node.index());
         }
+        self.publish_index_gauges();
         Ok(nodes.len())
     }
 

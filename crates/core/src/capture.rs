@@ -17,8 +17,10 @@
 use crate::error::{CoreError, CoreResult};
 use crate::event::{BrowserEvent, EventKind, NavigationCause, TabId};
 use bp_graph::{AttrValue, EdgeKind, NodeId, NodeKind, Timestamp};
+use bp_obs::{Counter, Histogram};
 use bp_storage::ProvenanceStore;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which relationships and objects the capture layer records.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +133,11 @@ pub struct CaptureEngine {
     search_terms: HashMap<String, NodeId>,
     pages: HashMap<String, NodeId>,
     tab_counter: u64,
+    /// Hot-path metric handles (resolved once; `handle` runs per event).
+    events_total: Arc<Counter>,
+    events_rejected: Arc<Counter>,
+    edges_added: Arc<Counter>,
+    batch_ops: Arc<Histogram>,
 }
 
 impl CaptureEngine {
@@ -139,6 +146,7 @@ impl CaptureEngine {
     /// is not persisted: like a real browser restart, previously open tabs
     /// are gone.
     pub fn new(store: ProvenanceStore, config: CaptureConfig) -> Self {
+        let obs = store.obs().clone();
         let mut engine = CaptureEngine {
             store,
             config,
@@ -147,6 +155,10 @@ impl CaptureEngine {
             search_terms: HashMap::new(),
             pages: HashMap::new(),
             tab_counter: 0,
+            events_total: obs.counter("capture.events_total"),
+            events_rejected: obs.counter("capture.events_rejected"),
+            edges_added: obs.counter("capture.edges_added"),
+            batch_ops: obs.histogram("capture.batch_ops"),
         };
         for (id, node) in engine.store.graph().nodes() {
             match node.kind() {
@@ -251,6 +263,18 @@ impl CaptureEngine {
         // mid-way (validation happens before mutation, so a rejected event
         // normally applied nothing) — disk must mirror memory either way.
         self.store.commit_batch()?;
+        match &outcome {
+            Ok(o) => {
+                self.events_total.inc();
+                self.edges_added.add(o.edges_added as u64);
+                // Ops in this event's atomic batch: the primary node (if
+                // any) plus its edges — the per-event write amplification.
+                self.batch_ops
+                    .record(u64::from(o.primary.is_some()) + o.edges_added as u64);
+            }
+            Err(CoreError::BadEvent(_)) => self.events_rejected.inc(),
+            Err(_) => {}
+        }
         outcome
     }
 

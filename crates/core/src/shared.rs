@@ -13,6 +13,7 @@
 use crate::browser::ProvenanceBrowser;
 use crate::error::CoreError;
 use crate::event::BrowserEvent;
+use bp_obs::{Counter, Gauge};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::sync::Arc;
@@ -113,11 +114,18 @@ pub struct CapturePipeline {
     handle: Option<JoinHandle<()>>,
     rejected: Arc<Mutex<u64>>,
     failed: Arc<Mutex<Option<String>>>,
+    queue_depth: Arc<Gauge>,
+    stalls: Arc<Counter>,
+    flushes: Arc<Counter>,
 }
 
 impl CapturePipeline {
     /// Wraps `browser` and starts the capture thread.
     pub fn start(browser: ProvenanceBrowser) -> Self {
+        let obs = browser.obs().clone();
+        let queue_depth = obs.gauge("capture.queue_depth");
+        let stalls = obs.counter("capture.backpressure_stalls");
+        let flushes = obs.counter("capture.flushes");
         let shared = SharedBrowser::new(browser);
         let (sender, receiver): (Sender<Message>, Receiver<Message>) = channel::unbounded();
         let rejected = Arc::new(Mutex::new(0u64));
@@ -125,11 +133,13 @@ impl CapturePipeline {
         let thread_shared = shared.clone();
         let thread_rejected = Arc::clone(&rejected);
         let thread_failed = Arc::clone(&failed);
+        let thread_depth = Arc::clone(&queue_depth);
         let handle = std::thread::spawn(move || {
             for message in receiver {
                 match message {
                     Message::Event(event) => {
                         let result = thread_shared.with_mut(|b| b.ingest(&event));
+                        thread_depth.sub(1);
                         match result {
                             Ok(_) => {}
                             Err(CoreError::BadEvent(_)) => {
@@ -154,6 +164,9 @@ impl CapturePipeline {
             handle: Some(handle),
             rejected,
             failed,
+            queue_depth,
+            stalls,
+            flushes,
         }
     }
 
@@ -164,11 +177,23 @@ impl CapturePipeline {
 
     /// Enqueues an event; returns `false` if the pipeline has stopped.
     pub fn submit(&self, event: BrowserEvent) -> bool {
-        self.sender.send(Message::Event(Box::new(event))).is_ok()
+        self.queue_depth.add(1);
+        let sent = self.sender.send(Message::Event(Box::new(event))).is_ok();
+        if !sent {
+            self.queue_depth.sub(1);
+        }
+        sent
     }
 
     /// Blocks until every previously submitted event has been applied.
+    ///
+    /// A flush issued while events are still queued counts as a
+    /// backpressure stall: some caller is waiting on the capture thread.
     pub fn flush(&self) {
+        self.flushes.inc();
+        if self.queue_depth.get() > 0 {
+            self.stalls.inc();
+        }
         let (ack_tx, ack_rx) = channel::bounded(1);
         if self.sender.send(Message::Flush(ack_tx)).is_ok() {
             let _ = ack_rx.recv();

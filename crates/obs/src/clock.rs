@@ -1,0 +1,164 @@
+//! Time sources for instrumentation.
+//!
+//! All bp-obs timing flows through a [`ClockHandle`] so that code under
+//! test can swap the process-wide monotonic clock for a [`MockClock`] and
+//! drive time by hand (deadline tests, latency assertions). Production
+//! code pays one virtual call per reading; readings are monotonic
+//! microseconds since an arbitrary process-local anchor.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A monotonic microsecond source.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Microseconds elapsed since this clock's anchor.
+    fn now_micros(&self) -> u64;
+}
+
+/// The process monotonic clock ([`Instant`] behind a shared anchor).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealClock;
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+impl Clock for RealClock {
+    fn now_micros(&self) -> u64 {
+        anchor().elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-driven clock for tests: time only moves when told to.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    micros: AtomicU64,
+}
+
+impl MockClock {
+    /// A mock clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.micros
+            .fetch_add(d.as_micros() as u64, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_micros(&self, us: u64) {
+        self.micros.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute reading.
+    pub fn set_micros(&self, us: u64) {
+        self.micros.store(us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+/// A cheaply clonable handle to some [`Clock`].
+#[derive(Clone, Debug)]
+pub struct ClockHandle(Arc<dyn Clock>);
+
+impl Default for ClockHandle {
+    fn default() -> Self {
+        Self::real()
+    }
+}
+
+impl ClockHandle {
+    /// The process-wide real monotonic clock.
+    pub fn real() -> Self {
+        ClockHandle(Arc::new(RealClock))
+    }
+
+    /// A fresh mock clock plus a handle for advancing it.
+    pub fn mock() -> (Self, Arc<MockClock>) {
+        let mock = Arc::new(MockClock::new());
+        (ClockHandle(mock.clone()), mock)
+    }
+
+    /// Wraps an arbitrary clock implementation.
+    pub fn from_clock(clock: Arc<dyn Clock>) -> Self {
+        ClockHandle(clock)
+    }
+
+    /// Current reading in microseconds since the clock's anchor.
+    pub fn now_micros(&self) -> u64 {
+        self.0.now_micros()
+    }
+
+    /// Starts a stopwatch at the current reading.
+    pub fn start(&self) -> Stopwatch {
+        Stopwatch {
+            clock: self.clone(),
+            start_micros: self.now_micros(),
+        }
+    }
+}
+
+/// Measures elapsed time against the [`ClockHandle`] it was started from.
+#[derive(Clone, Debug)]
+pub struct Stopwatch {
+    clock: ClockHandle,
+    start_micros: u64,
+}
+
+impl Stopwatch {
+    /// Microseconds since the stopwatch started.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.clock.now_micros().saturating_sub(self.start_micros)
+    }
+
+    /// Elapsed time since the stopwatch started.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.elapsed_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let clock = ClockHandle::real();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_moves_only_when_told() {
+        let (clock, mock) = ClockHandle::mock();
+        let sw = clock.start();
+        assert_eq!(sw.elapsed_micros(), 0);
+        mock.advance(Duration::from_millis(3));
+        assert_eq!(sw.elapsed(), Duration::from_millis(3));
+        mock.advance_micros(7);
+        assert_eq!(sw.elapsed_micros(), 3_007);
+        mock.set_micros(1);
+        // Going backwards saturates rather than underflowing.
+        assert_eq!(sw.elapsed_micros(), 1);
+    }
+
+    #[test]
+    fn stopwatch_starts_at_current_reading() {
+        let (clock, mock) = ClockHandle::mock();
+        mock.set_micros(500);
+        let sw = clock.start();
+        mock.set_micros(650);
+        assert_eq!(sw.elapsed_micros(), 150);
+    }
+}

@@ -1,0 +1,312 @@
+//! Exposition and persistence of metric snapshots.
+//!
+//! Three renderings of a [`RegistrySnapshot`]:
+//!
+//! * **Prometheus text** — `# TYPE` headers, cumulative `_bucket{le=…}`
+//!   histogram series, `_sum`/`_count`; names sanitized to the Prometheus
+//!   charset.
+//! * **JSON** — a single object with `counters`/`gauges`/`histograms`
+//!   keys, histograms carrying count/sum/max and p50/p95/p99 readouts.
+//! * **Snapshot text** — a line-oriented format that round-trips exactly
+//!   (`import_snapshot` merges it into a live registry), used to carry the
+//!   capture-session metrics of `browserprov generate` forward into a
+//!   later `browserprov stats` invocation.
+
+use crate::metrics::{HistogramSnapshot, MetricsRegistry, RegistrySnapshot, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// Maps a metric name onto the Prometheus charset (`[a-zA-Z0-9_:]`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, n) in hist.buckets.iter().enumerate() {
+            cumulative += n;
+            // Only emit boundaries up to the data; +Inf closes the series.
+            if cumulative > 0 && *n > 0 {
+                let le = crate::metrics::bucket_bounds(i).1;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as a JSON object.
+pub fn render_json(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let mut first = true;
+    for (name, value) in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {value}", json_escape(name));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    first = true;
+    for (name, value) in &snap.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {value}", json_escape(name));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    first = true;
+    for (name, hist) in &snap.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            json_escape(name),
+            hist.count,
+            hist.sum,
+            hist.max,
+            hist.p50(),
+            hist.p95(),
+            hist.p99()
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Version header of the snapshot persistence format.
+const SNAPSHOT_HEADER: &str = "# bp-obs snapshot v1";
+
+/// Serializes the snapshot in the line-oriented persistence format.
+pub fn export_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{SNAPSHOT_HEADER}");
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "counter {name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(out, "gauge {name} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let _ = write!(out, "hist {name} {} {} {}", hist.count, hist.sum, hist.max);
+        for (i, n) in hist.buckets.iter().enumerate() {
+            if *n > 0 {
+                let _ = write!(out, " {i}:{n}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A malformed snapshot line encountered by [`import_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SnapshotParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for SnapshotParseError {}
+
+/// Merges a persisted snapshot into `registry`: counters and histograms
+/// accumulate, gauges take the persisted level.
+///
+/// # Errors
+///
+/// Returns the first malformed line. Metrics parsed before the error have
+/// already been merged.
+pub fn import_snapshot(registry: &MetricsRegistry, text: &str) -> Result<(), SnapshotParseError> {
+    let err = |line: usize, reason: &str| SnapshotParseError {
+        line,
+        reason: reason.to_owned(),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let kind = parts.next().unwrap_or_default();
+        let name = parts
+            .next()
+            .ok_or_else(|| err(line_no, "missing metric name"))?;
+        match kind {
+            "counter" => {
+                let value: u64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad counter value"))?;
+                registry.counter(name).add(value);
+            }
+            "gauge" => {
+                let value: i64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad gauge value"))?;
+                registry.gauge(name).set(value);
+            }
+            "hist" => {
+                let mut snap = HistogramSnapshot::empty();
+                snap.count = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad histogram count"))?;
+                snap.sum = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad histogram sum"))?;
+                snap.max = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad histogram max"))?;
+                for pair in parts {
+                    let (bucket, count) = pair
+                        .split_once(':')
+                        .ok_or_else(|| err(line_no, "bad bucket pair"))?;
+                    let bucket: usize = bucket
+                        .parse()
+                        .map_err(|_| err(line_no, "bad bucket index"))?;
+                    if bucket >= HISTOGRAM_BUCKETS {
+                        return Err(err(line_no, "bucket index out of range"));
+                    }
+                    snap.buckets[bucket] = count
+                        .parse()
+                        .map_err(|_| err(line_no, "bad bucket count"))?;
+                }
+                registry.histogram(name).merge(&snap);
+            }
+            other => return Err(err(line_no, &format!("unknown record kind {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("capture.events_total").add(42);
+        r.gauge("capture.queue_depth").set(3);
+        let h = r.histogram("query.context.latency_us");
+        h.record(150);
+        h.record(900);
+        r
+    }
+
+    #[test]
+    fn prometheus_text_has_types_and_series() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(
+            text.contains("# TYPE capture_events_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("capture_events_total 42"), "{text}");
+        assert!(text.contains("# TYPE capture_queue_depth gauge"), "{text}");
+        assert!(
+            text.contains("query_context_latency_us_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("query_context_latency_us_sum 1050"), "{text}");
+    }
+
+    #[test]
+    fn json_contains_quantiles() {
+        let text = render_json(&sample_registry().snapshot());
+        assert!(text.contains("\"capture.events_total\": 42"), "{text}");
+        assert!(text.contains("\"p99\""), "{text}");
+        assert!(text.contains("\"max\": 900"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_import() {
+        let source = sample_registry();
+        let exported = export_snapshot(&source.snapshot());
+
+        let target = MetricsRegistry::new();
+        target.counter("capture.events_total").add(8);
+        import_snapshot(&target, &exported).unwrap();
+
+        let merged = target.snapshot();
+        assert_eq!(merged.counters["capture.events_total"], 50);
+        assert_eq!(merged.gauges["capture.queue_depth"], 3);
+        let hist = &merged.histograms["query.context.latency_us"];
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 1050);
+        assert_eq!(hist.max, 900);
+    }
+
+    #[test]
+    fn import_rejects_garbage_with_line_numbers() {
+        let registry = MetricsRegistry::new();
+        let bad = "# bp-obs snapshot v1\ncounter ok 5\nwat is this\n";
+        let e = import_snapshot(&registry, bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.reason.contains("unknown record kind"), "{e}");
+        // The line before the error still merged.
+        assert_eq!(registry.counter("ok").get(), 5);
+    }
+
+    #[test]
+    fn json_escaping_handles_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

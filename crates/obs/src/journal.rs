@@ -1,0 +1,167 @@
+//! Fixed-capacity ring-buffer journal of notable runtime events.
+//!
+//! The journal keeps the most recent N events of operational interest —
+//! WAL recoveries, snapshot compactions, query deadline misses, privacy
+//! redactions — so `browserprov stats` can show *what happened recently*,
+//! not just aggregate counts. Old events fall off the front; a drop count
+//! records how many were discarded.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Severity of a journal event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Routine but notable (compaction completed, recovery clean).
+    Info,
+    /// Degraded but handled (torn WAL tail truncated, deadline bounded).
+    Warn,
+    /// Lost work or broken invariants.
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        })
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Monotone sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at record time.
+    pub unix_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Human-readable description.
+    pub message: String,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<JournalEvent>,
+}
+
+/// A bounded, thread-safe event log.
+#[derive(Debug)]
+pub struct Journal {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new(256)
+    }
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Records one event, evicting the oldest if full.
+    pub fn record(&self, level: Level, message: impl Into<String>) {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(JournalEvent {
+            seq,
+            unix_ms,
+            level,
+            message: message.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Renders the retained events as `seq [LEVEL] message` lines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let inner = self.inner.lock();
+        if inner.dropped > 0 {
+            let _ = writeln!(out, "({} earlier events dropped)", inner.dropped);
+        }
+        for e in &inner.events {
+            let _ = writeln!(out, "#{:<5} [{}] {}", e.seq, e.level, e.message);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let j = Journal::new(8);
+        j.record(Level::Info, "first");
+        j.record(Level::Warn, "second");
+        let events = j.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "first");
+        assert_eq!(events[1].level, Level::Warn);
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let j = Journal::new(3);
+        for i in 0..5 {
+            j.record(Level::Info, format!("e{i}"));
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].message, "e2");
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.total_recorded(), 5);
+    }
+
+    #[test]
+    fn render_mentions_drops_and_levels() {
+        let j = Journal::new(1);
+        j.record(Level::Info, "gone");
+        j.record(Level::Error, "kept");
+        let text = j.render();
+        assert!(text.contains("1 earlier events dropped"), "{text}");
+        assert!(text.contains("[ERROR] kept"), "{text}");
+        assert!(!text.contains("gone\n"), "{text}");
+    }
+}

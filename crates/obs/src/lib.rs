@@ -1,0 +1,120 @@
+//! # bp-obs — observability for the browser-provenance stack
+//!
+//! A dependency-light metrics, tracing, and event-journal layer (only
+//! `parking_lot` beyond std). The paper argues a provenance-aware browser
+//! must hold a latency/durability envelope (capture keeps up with
+//! browsing; queries answer interactively); this crate makes that envelope
+//! *observable* at runtime rather than only in offline experiments:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s (sharded atomics),
+//!   [`Gauge`]s, and log₂-bucketed [`Histogram`]s with p50/p95/p99/max
+//!   readout.
+//! * [`trace`] — span-based tracing with thread-local span stacks,
+//!   rendering per-stage timing trees for `--trace` query runs.
+//! * [`Journal`] — a fixed-capacity ring buffer of notable events
+//!   (recoveries, compactions, deadline misses, redactions).
+//! * [`expo`] — Prometheus-style text and JSON exposition, plus a
+//!   round-trippable snapshot format so one CLI invocation's metrics can
+//!   be merged into a later one's report.
+//! * [`ClockHandle`] — a mockable monotonic clock behind every latency
+//!   measurement.
+//!
+//! Instrumented components hold an [`Obs`] handle. Production code uses
+//! [`Obs::global`]; tests that assert exact counts use [`Obs::isolated`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+pub mod expo;
+mod journal;
+mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, ClockHandle, MockClock, RealClock, Stopwatch};
+pub use journal::{Journal, JournalEvent, Level};
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    RegistrySnapshot, HISTOGRAM_BUCKETS,
+};
+
+use std::sync::{Arc, OnceLock};
+
+/// A handle bundling the metric registry and event journal a component
+/// reports into.
+#[derive(Clone, Debug)]
+pub struct Obs {
+    registry: Arc<MetricsRegistry>,
+    journal: Arc<Journal>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::global()
+    }
+}
+
+impl Obs {
+    /// The process-wide registry and journal (what the CLI reports).
+    pub fn global() -> Obs {
+        static GLOBAL: OnceLock<Obs> = OnceLock::new();
+        GLOBAL.get_or_init(Obs::isolated).clone()
+    }
+
+    /// A private registry and journal, unshared with the rest of the
+    /// process. Used by tests asserting exact metric values.
+    pub fn isolated() -> Obs {
+        Obs {
+            registry: Arc::new(MetricsRegistry::new()),
+            journal: Arc::new(Journal::default()),
+        }
+    }
+
+    /// The metric registry behind this handle.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The event journal behind this handle.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Counter lookup shorthand.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(name)
+    }
+
+    /// Gauge lookup shorthand.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(name)
+    }
+
+    /// Histogram lookup shorthand.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_is_shared_isolated_is_not() {
+        Obs::global().counter("lib.test.shared").inc();
+        assert_eq!(Obs::global().counter("lib.test.shared").get(), 1);
+
+        let a = Obs::isolated();
+        let b = Obs::isolated();
+        a.counter("x").inc();
+        assert_eq!(b.counter("x").get(), 0);
+    }
+
+    #[test]
+    fn journal_reachable_through_obs() {
+        let obs = Obs::isolated();
+        obs.journal().record(Level::Info, "hello");
+        assert_eq!(obs.journal().events().len(), 1);
+    }
+}

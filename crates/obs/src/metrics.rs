@@ -1,0 +1,428 @@
+//! The metrics registry: named counters, gauges, and log₂ histograms.
+//!
+//! Handles returned by the registry are `Arc`s; hot paths resolve a metric
+//! once at construction time and then touch only atomics. Counters are
+//! sharded across cache-line-padded cells so concurrent writers on
+//! different cores do not contend; reads sum the shards (eventually exact:
+//! a quiescent counter reads the precise total).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of independent cells a counter stripes its increments across.
+const COUNTER_SHARDS: usize = 16;
+
+/// Number of histogram buckets: one zero bucket plus one per power of two
+/// up to `2^63..=u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+thread_local! {
+    /// Each thread gets a sticky shard index, assigned round-robin.
+    static SHARD: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS
+    };
+}
+
+/// A monotonically increasing event count.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        let idx = SHARD.with(|s| *s);
+        self.shards[idx].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// An instantaneous signed level (queue depth, resident rows, bytes held).
+#[derive(Default, Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level up by `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Moves the level down by `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Maps a sample to its log₂ bucket: 0 → bucket 0, otherwise
+/// `floor(log2(v)) + 1`, so bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` range of samples landing in bucket `idx`.
+///
+/// # Panics
+///
+/// Panics if `idx >= HISTOGRAM_BUCKETS`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < HISTOGRAM_BUCKETS, "bucket {idx} out of range");
+    if idx == 0 {
+        (0, 0)
+    } else if idx == HISTOGRAM_BUCKETS - 1 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (idx - 1), (1u64 << idx) - 1)
+    }
+}
+
+/// A lock-free log₂-bucketed histogram of `u64` samples (typically
+/// microseconds). Records are constant-time; quantiles come from a
+/// [`HistogramSnapshot`].
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile readout and exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds another histogram's snapshot into this one (used when merging
+    /// metrics persisted by an earlier process).
+    pub fn merge(&self, other: &HistogramSnapshot) {
+        for (i, n) in other.buckets.iter().enumerate() {
+            if *n > 0 {
+                self.buckets[i].fetch_add(*n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("p50", &s.p50())
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1): the upper
+    /// edge of the bucket containing that rank, clamped to the observed
+    /// maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper-bound estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper-bound estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper-bound estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Named metric store. Lookup takes a read lock; first use of a name takes
+/// a write lock once. Callers on hot paths should resolve handles up front.
+#[derive(Default, Debug)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().get(name) {
+        return found.clone();
+    }
+    map.write()
+        .entry(name.to_owned())
+        .or_insert_with(|| Arc::new(T::default()))
+        .clone()
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Copies every metric's current value.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_shards() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::default();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_index_known_values() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_domain() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        let mut expected_lo = 1u64;
+        for i in 1..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} lower bound");
+            assert!(hi >= lo);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(bucket_bounds(HISTOGRAM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 10, 100, 1000, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, 5000);
+        assert!(s.p50() >= 3, "p50 {} under-estimates", s.p50());
+        assert_eq!(s.p99(), 5000, "top quantile clamps to observed max");
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let a = Histogram::default();
+        a.record(5);
+        let b = Histogram::default();
+        b.record(1000);
+        b.record(7);
+        a.merge(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 1012);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn registry_returns_same_instance_per_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("x").get(), 2);
+        r.gauge("g").set(3);
+        r.histogram("h").record(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["x"], 2);
+        assert_eq!(snap.gauges["g"], 3);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+}

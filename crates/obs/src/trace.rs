@@ -1,0 +1,242 @@
+//! Span-based tracing with thread-local span stacks.
+//!
+//! Tracing is off by default and costs one relaxed atomic load per
+//! [`span`] call when disabled. When enabled, each guard pushes onto the
+//! current thread's open-span stack; closing a guard pops it and attaches
+//! the finished [`SpanNode`] to its parent, or to the thread's finished
+//! roots when it was outermost. [`take_roots`] drains those roots for
+//! rendering as an indented tree with per-stage timings.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns span collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being collected.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One finished span: a named duration with nested child spans.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Stage name (e.g. `query.context/traverse`).
+    pub name: &'static str,
+    /// Wall time between open and close.
+    pub duration: Duration,
+    /// Spans opened (and closed) while this one was open.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Renders the span tree as indented lines with per-stage timings and
+    /// each child's share of its parent.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}  {:.3?}", self.name, self.duration);
+        render_children(&self.children, self.duration, "", &mut out);
+        out
+    }
+}
+
+fn render_children(children: &[SpanNode], parent: Duration, prefix: &str, out: &mut String) {
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let (branch, cont) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        let share = if parent.as_nanos() == 0 {
+            0.0
+        } else {
+            child.duration.as_nanos() as f64 / parent.as_nanos() as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "{prefix}{branch}{}  {:.3?} ({share:.1}%)",
+            child.name, child.duration
+        );
+        render_children(
+            &child.children,
+            child.duration,
+            &format!("{prefix}{cont}"),
+            out,
+        );
+    }
+}
+
+struct OpenSpan {
+    name: &'static str,
+    start: Instant,
+    children: Vec<SpanNode>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+    static ROOTS: RefCell<Vec<SpanNode>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span named `name`. The span closes when the guard drops (or via
+/// [`SpanGuard::finish_with`]). A no-op when tracing is disabled.
+#[must_use = "the span closes when this guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: false };
+    }
+    STACK.with(|stack| {
+        stack.borrow_mut().push(OpenSpan {
+            name,
+            start: Instant::now(),
+            children: Vec::new(),
+        })
+    });
+    SpanGuard { open: true }
+}
+
+/// Drains the finished root spans collected on this thread.
+pub fn take_roots() -> Vec<SpanNode> {
+    ROOTS.with(|roots| std::mem::take(&mut *roots.borrow_mut()))
+}
+
+/// Closes its span on drop, attaching it to the parent span or the
+/// thread's finished roots.
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: bool,
+}
+
+impl SpanGuard {
+    /// Closes the span, recording `duration` instead of the guard's own
+    /// wall-clock measurement. Used when a caller has already measured the
+    /// stage (e.g. a query's reported latency) and the span tree must agree
+    /// with that number exactly.
+    pub fn finish_with(mut self, duration: Duration) {
+        self.close(Some(duration));
+    }
+
+    fn close(&mut self, duration_override: Option<Duration>) {
+        if !self.open {
+            return;
+        }
+        self.open = false;
+        let node = STACK.with(|stack| {
+            let open = stack.borrow_mut().pop()?;
+            Some(SpanNode {
+                name: open.name,
+                duration: duration_override.unwrap_or_else(|| open.start.elapsed()),
+                children: open.children,
+            })
+        });
+        let Some(node) = node else { return };
+        STACK.with(|stack| {
+            if let Some(parent) = stack.borrow_mut().last_mut() {
+                parent.children.push(node);
+            } else {
+                ROOTS.with(|roots| roots.borrow_mut().push(node));
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the process-wide enable flag.
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        use std::sync::Mutex;
+        static GATE: Mutex<()> = Mutex::new(());
+        let _lock = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = take_roots();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn disabled_spans_collect_nothing() {
+        set_enabled(false);
+        {
+            let _a = span("a");
+            let _b = span("b");
+        }
+        assert!(take_roots().is_empty());
+    }
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let roots = with_tracing(|| {
+            {
+                let _root = span("root");
+                {
+                    let _child = span("child");
+                    let _grand = span("grand");
+                }
+                let _sibling = span("sibling");
+            }
+            take_roots()
+        });
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        assert_eq!(root.name, "root");
+        // Drop order closes "grand" before "child"; both nest under root.
+        let names: Vec<_> = root.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["child", "sibling"]);
+        assert_eq!(root.children[0].children[0].name, "grand");
+    }
+
+    #[test]
+    fn finish_with_pins_the_root_duration() {
+        let roots = with_tracing(|| {
+            let root = span("q");
+            root.finish_with(Duration::from_micros(1234));
+            take_roots()
+        });
+        assert_eq!(roots[0].duration, Duration::from_micros(1234));
+    }
+
+    #[test]
+    fn render_shows_every_stage() {
+        let roots = with_tracing(|| {
+            {
+                let root = span("outer");
+                {
+                    let _c = span("inner");
+                }
+                root.finish_with(Duration::from_millis(10));
+            }
+            take_roots()
+        });
+        let text = roots[0].render();
+        assert!(text.contains("outer"), "{text}");
+        assert!(text.contains("└─ inner"), "{text}");
+        assert!(text.contains('%'), "{text}");
+    }
+
+    #[test]
+    fn successive_roots_accumulate_until_taken() {
+        let roots = with_tracing(|| {
+            drop(span("one"));
+            drop(span("two"));
+            take_roots()
+        });
+        let names: Vec<_> = roots.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["one", "two"]);
+        assert!(take_roots().is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the log₂ histogram bucketing.
+
+use bp_obs::{bucket_bounds, bucket_index, Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket assignment is monotone: larger samples never land in a
+    /// smaller bucket.
+    #[test]
+    fn bucket_assignment_is_monotone(a: u64, b: u64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Every sample lands inside its bucket's stated bounds — assignment
+    /// loses nothing at the edges.
+    #[test]
+    fn samples_fall_within_their_bucket_bounds(v: u64) {
+        let idx = bucket_index(v);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {idx} = [{lo}, {hi}]");
+    }
+
+    /// Recording any batch of samples is lossless in aggregate: the
+    /// per-bucket counts sum to the sample count, and sum/max are exact.
+    #[test]
+    fn recording_is_lossless(samples in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let h = Histogram::default();
+        let mut sum = 0u64;
+        for &v in &samples {
+            h.record(v);
+            sum = sum.wrapping_add(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(snap.max, samples.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(snap.sum, sum);
+    }
+}
+
+/// Deterministic sweep of every boundary: for each bucket, its exact lower
+/// and upper bounds map back to it, and values one past a boundary map to
+/// the neighbor. Boundaries are where off-by-one bugs live, so this is
+/// exhaustive rather than sampled.
+#[test]
+fn boundaries_are_exact() {
+    for idx in 0..HISTOGRAM_BUCKETS {
+        let (lo, hi) = bucket_bounds(idx);
+        assert_eq!(bucket_index(lo), idx, "lower bound of bucket {idx}");
+        assert_eq!(bucket_index(hi), idx, "upper bound of bucket {idx}");
+        if idx + 1 < HISTOGRAM_BUCKETS {
+            assert_eq!(
+                bucket_index(hi + 1),
+                idx + 1,
+                "first value past bucket {idx}"
+            );
+        }
+        if lo > 0 {
+            assert_eq!(
+                bucket_index(lo - 1),
+                idx - 1,
+                "last value before bucket {idx}"
+            );
+        }
+    }
+}
+
+/// Quantiles never understate the data: the reported quantile is an upper
+/// bound within the observed max.
+#[test]
+fn quantiles_are_clamped_upper_bounds() {
+    let h = Histogram::default();
+    for v in [3u64, 3, 3, 200, 90_000] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert!(s.p50() >= 3);
+    assert!(s.p99() <= s.max);
+    assert_eq!(s.max, 90_000);
+}

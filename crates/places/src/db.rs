@@ -350,6 +350,16 @@ impl PlacesDb {
         &self.annos
     }
 
+    /// Total rows across all tables — published as the `places.rows`
+    /// gauge so the E1 size comparison has a live denominator.
+    pub fn row_count(&self) -> usize {
+        self.places.len()
+            + self.visits.len()
+            + self.bookmarks.len()
+            + self.input_history.len()
+            + self.annos.len()
+    }
+
     /// Total serialized size of all tables — the E1 baseline figure.
     pub fn encoded_size(&self) -> usize {
         self.places.encoded_size()

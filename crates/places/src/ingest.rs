@@ -144,6 +144,9 @@ impl PlacesIngester {
             self.ingest(db, event)?;
             n += 1;
         }
+        bp_obs::Obs::global()
+            .gauge("places.rows")
+            .set(db.row_count() as i64);
         Ok(n)
     }
 }

@@ -15,7 +15,7 @@ use bp_graph::hits::{hits, HitsConfig};
 use bp_graph::neighborhood::{expand, ExpansionConfig};
 use bp_graph::traverse::Budget;
 use bp_graph::{NodeId, NodeKind};
-use std::time::Instant;
+use bp_obs::{trace, ClockHandle};
 
 /// Tuning for contextual history search.
 #[derive(Debug, Clone)]
@@ -38,6 +38,8 @@ pub struct ContextualConfig {
     /// in-neighborhood journeys *arrived at* gain authority. 0.0 (the
     /// default) disables the HITS pass.
     pub hits_weight: f64,
+    /// Time source for the reported latency (mockable in tests).
+    pub clock: ClockHandle,
 }
 
 impl Default for ContextualConfig {
@@ -50,6 +52,7 @@ impl Default for ContextualConfig {
             max_results: 25,
             result_kinds: vec![NodeKind::PageVisit, NodeKind::Download, NodeKind::Bookmark],
             hits_weight: 0.0,
+            clock: ClockHandle::real(),
         }
     }
 }
@@ -75,19 +78,27 @@ pub fn contextual_history_search(
     query: &str,
     config: &ContextualConfig,
 ) -> QueryResult {
-    let start = Instant::now();
+    let span = trace::span("query.context");
+    let sw = config.clock.start();
     let graph = browser.graph();
 
     // 1. Textual seeds.
-    let seeds = text_seeds(browser, query);
+    let seeds = {
+        let _stage = trace::span("text_seeds");
+        text_seeds(browser, query)
+    };
 
     // 2. Neighborhood expansion from the seeds.
-    let expansion = expand(graph, &seeds, &config.expansion, &config.budget);
+    let expansion = {
+        let _stage = trace::span("expand");
+        expand(graph, &seeds, &config.expansion, &config.budget)
+    };
 
     // 3. Optional HITS pass over the reached neighborhood (the "base
     //    set" in Kleinberg's terms): authority flows to the pages the
     //    user's journeys converged on.
     let authority: std::collections::HashMap<NodeId, f64> = if config.hits_weight > 0.0 {
+        let _stage = trace::span("hits");
         let mut base: Vec<NodeId> = expansion.weight.keys().copied().collect();
         base.sort(); // deterministic member order → deterministic scores
         hits(graph, &base, &HitsConfig::default()).authority
@@ -96,6 +107,7 @@ pub fn contextual_history_search(
     };
 
     // 4. Blend and collect.
+    let stage = trace::span("blend");
     let mut text_score: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
     for &(n, s) in &seeds {
         text_score.insert(n, s);
@@ -135,9 +147,20 @@ pub fn contextual_history_search(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    drop(stage);
+    let elapsed = sw.elapsed();
+    crate::slo::observe(
+        browser.obs(),
+        "context",
+        "query.context.latency_us",
+        elapsed,
+        config.budget.deadline(),
+        expansion.truncated,
+    );
+    span.finish_with(elapsed);
     QueryResult {
         hits,
-        elapsed: start.elapsed(),
+        elapsed,
         truncated: expansion.truncated,
     }
 }
@@ -153,10 +176,17 @@ pub fn contextual_history_search_ppr(
     config: &ContextualConfig,
     pagerank: &bp_graph::pagerank::PageRankConfig,
 ) -> QueryResult {
-    let start = Instant::now();
+    let span = trace::span("query.context_ppr");
+    let sw = config.clock.start();
     let graph = browser.graph();
-    let seeds = text_seeds(browser, query);
-    let scores = bp_graph::pagerank::personalized_pagerank(graph, &seeds, pagerank);
+    let seeds = {
+        let _stage = trace::span("text_seeds");
+        text_seeds(browser, query)
+    };
+    let scores = {
+        let _stage = trace::span("pagerank");
+        bp_graph::pagerank::personalized_pagerank(graph, &seeds, pagerank)
+    };
     // Rescale so the context component is comparable to the expansion
     // variant (top score ≈ 1).
     let max = scores
@@ -203,9 +233,21 @@ pub fn contextual_history_search_ppr(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    let elapsed = sw.elapsed();
+    // Same use case as the expansion variant, so it samples the same
+    // latency histogram; PPR runs to a fixed point and never truncates.
+    crate::slo::observe(
+        browser.obs(),
+        "context",
+        "query.context.latency_us",
+        elapsed,
+        config.budget.deadline(),
+        false,
+    );
+    span.finish_with(elapsed);
     QueryResult {
         hits,
-        elapsed: start.elapsed(),
+        elapsed,
         truncated: false,
     }
 }
@@ -217,7 +259,8 @@ pub fn textual_history_search(
     query: &str,
     config: &ContextualConfig,
 ) -> QueryResult {
-    let start = Instant::now();
+    let span = trace::span("query.textual");
+    let sw = config.clock.start();
     let graph = browser.graph();
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
@@ -251,9 +294,21 @@ pub fn textual_history_search(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    let elapsed = sw.elapsed();
+    // A baseline, not one of the four use cases: latency sample only, no
+    // deadline classification (nothing here honors the budget).
+    crate::slo::observe(
+        browser.obs(),
+        "textual",
+        "query.textual.latency_us",
+        elapsed,
+        None,
+        false,
+    );
+    span.finish_with(elapsed);
     QueryResult {
         hits,
-        elapsed: start.elapsed(),
+        elapsed,
         truncated: false,
     }
 }

@@ -55,6 +55,7 @@ mod lineage;
 mod personalize;
 pub mod ql;
 mod result;
+mod slo;
 mod timectx;
 
 pub use context::{

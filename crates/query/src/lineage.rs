@@ -11,7 +11,8 @@
 use bp_core::ProvenanceBrowser;
 use bp_graph::traverse::{self, Budget, Direction, Path};
 use bp_graph::{NodeId, NodeKind};
-use std::time::{Duration, Instant};
+use bp_obs::{trace, ClockHandle};
+use std::time::Duration;
 
 /// Tuning for lineage queries.
 #[derive(Debug, Clone)]
@@ -22,6 +23,8 @@ pub struct LineageConfig {
     pub recognizable_visits: u32,
     /// Traversal budget.
     pub budget: Budget,
+    /// Time source for the reported latency (mockable in tests).
+    pub clock: ClockHandle,
 }
 
 impl Default for LineageConfig {
@@ -29,6 +32,7 @@ impl Default for LineageConfig {
         LineageConfig {
             recognizable_visits: 3,
             budget: Budget::new(),
+            clock: ClockHandle::real(),
         }
     }
 }
@@ -63,27 +67,47 @@ pub fn first_recognizable_ancestor(
     download: NodeId,
     config: &LineageConfig,
 ) -> Option<LineageAnswer> {
-    let start = Instant::now();
+    let span = trace::span("query.lineage");
+    let sw = config.clock.start();
     let graph = browser.graph();
-    let path = traverse::first_ancestor_where(
-        graph,
-        download,
-        |node| {
-            graph.node(node).is_ok_and(|n| {
-                n.kind() == NodeKind::PageVisit
-                    && browser.visit_count(n.key()) >= config.recognizable_visits
-            })
-        },
-        &config.budget,
-    )?;
-    let ancestor = path.target();
-    let node = graph.node(ancestor).ok()?;
+    let found = {
+        let _stage = trace::span("ancestor_bfs");
+        traverse::first_ancestor_where(
+            graph,
+            download,
+            |node| {
+                graph.node(node).is_ok_and(|n| {
+                    n.kind() == NodeKind::PageVisit
+                        && browser.visit_count(n.key()) >= config.recognizable_visits
+                })
+            },
+            &config.budget,
+        )
+        .and_then(|path| {
+            let ancestor = path.target();
+            let url = graph.node(ancestor).ok()?.key().to_owned();
+            Some((ancestor, url, path))
+        })
+    };
+    let elapsed = sw.elapsed();
+    // The BFS stops at the budget but does not report whether it did, so
+    // only hit/miss is classified here — never `bounded`.
+    crate::slo::observe(
+        browser.obs(),
+        "lineage",
+        "query.lineage.latency_us",
+        elapsed,
+        config.budget.deadline(),
+        false,
+    );
+    span.finish_with(elapsed);
+    let (ancestor, url, path) = found?;
     Some(LineageAnswer {
         ancestor,
-        url: node.key().to_owned(),
-        visit_count: browser.visit_count(node.key()),
+        visit_count: browser.visit_count(&url),
+        url,
         path,
-        elapsed: start.elapsed(),
+        elapsed,
     })
 }
 

@@ -9,6 +9,7 @@
 
 use crate::context::{contextual_history_search, ContextualConfig};
 use bp_core::ProvenanceBrowser;
+use bp_obs::trace;
 use bp_text::TermProfile;
 
 /// Tuning for query expansion.
@@ -73,7 +74,10 @@ pub fn personalize_query(
     query: &str,
     config: &PersonalizeConfig,
 ) -> ExpandedQuery {
+    let span = trace::span("query.personalize");
+    let sw = config.contextual.clock.start();
     let contextual = contextual_history_search(browser, query, &config.contextual);
+    let stage = trace::span("term_profile");
     let mut profile = TermProfile::new();
     for hit in &contextual.hits {
         let mut text = hit.key.clone();
@@ -90,6 +94,20 @@ pub fn personalize_query(
         .filter(|(_, w)| *w >= config.min_term_weight)
         .map(|(t, _)| t)
         .collect();
+    drop(stage);
+    let elapsed = sw.elapsed();
+    // The inner contextual search already classified the deadline (it is
+    // the stage that honors the budget); recording it again here would
+    // double-count one user query in the SLO.
+    crate::slo::observe(
+        browser.obs(),
+        "personalize",
+        "query.personalize.latency_us",
+        elapsed,
+        None,
+        contextual.truncated,
+    );
+    span.finish_with(elapsed);
     ExpandedQuery {
         original: query.to_owned(),
         added_terms,

@@ -4,8 +4,9 @@ use super::ast::{Filter, Query, Selector, Shape};
 use bp_core::ProvenanceBrowser;
 use bp_graph::traverse::{self, Budget, Direction};
 use bp_graph::{NodeId, NodeKind};
+use bp_obs::{trace, ClockHandle};
 use core::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// An execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,7 +99,8 @@ pub fn execute(
     query: &Query,
     budget: &Budget,
 ) -> Result<Rows, ExecError> {
-    let start = Instant::now();
+    let span = trace::span("query.ql");
+    let sw = ClockHandle::real().start();
     let graph = browser.graph();
     let mut truncated = false;
     let candidates: Vec<Row> = match &query.shape {
@@ -191,9 +193,19 @@ pub fn execute(
     if let Some(limit) = query.limit {
         rows.truncate(limit);
     }
+    let elapsed = sw.elapsed();
+    crate::slo::observe(
+        browser.obs(),
+        "ql",
+        "query.ql.latency_us",
+        elapsed,
+        budget.deadline(),
+        truncated,
+    );
+    span.finish_with(elapsed);
     Ok(Rows {
         rows,
-        elapsed: start.elapsed(),
+        elapsed,
         truncated,
     })
 }

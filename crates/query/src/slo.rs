@@ -1,0 +1,43 @@
+//! Query-path observability: per-use-case latency histograms and the
+//! live deadline SLO counters (`query.deadline.{hit,miss,bounded}`).
+//!
+//! Experiment E2 measures the deadline hit-rate offline; this module makes
+//! the same number a *live* metric: every use-case query records its
+//! latency sample here, and deadline-bounded runs are classified as they
+//! happen, readable from `browserprov stats --metrics`.
+
+use bp_obs::{Level, Obs};
+use std::time::Duration;
+
+/// Records a finished use-case query.
+///
+/// `latency_metric` receives an `elapsed` sample (log₂ microsecond
+/// buckets). When the caller set a `deadline`, the run is classified:
+/// `bounded` when the traversal truncated itself to honor the deadline
+/// (the paper's "can be bound to that time" escape hatch — the query gave
+/// a partial answer rather than silently overrunning), then `hit` or
+/// `miss` by comparing `elapsed` against the deadline. Misses are
+/// journaled: a miss means the interactive-latency envelope broke.
+pub(crate) fn observe(
+    obs: &Obs,
+    use_case: &'static str,
+    latency_metric: &'static str,
+    elapsed: Duration,
+    deadline: Option<Duration>,
+    truncated: bool,
+) {
+    obs.histogram(latency_metric).record_duration(elapsed);
+    let Some(deadline) = deadline else { return };
+    if truncated {
+        obs.counter("query.deadline.bounded").inc();
+    }
+    if elapsed <= deadline {
+        obs.counter("query.deadline.hit").inc();
+    } else {
+        obs.counter("query.deadline.miss").inc();
+        obs.journal().record(
+            Level::Warn,
+            format!("query.{use_case} exceeded its {deadline:?} deadline (took {elapsed:?})"),
+        );
+    }
+}

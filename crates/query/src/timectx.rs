@@ -12,8 +12,9 @@
 use crate::result::{QueryResult, ScoredHit};
 use bp_core::ProvenanceBrowser;
 use bp_graph::{EdgeKind, NodeId, NodeKind, TimeInterval};
+use bp_obs::{trace, ClockHandle};
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning for time-contextual search.
 #[derive(Debug, Clone)]
@@ -28,6 +29,8 @@ pub struct TimeContextConfig {
     /// Weight multiplier when the association is an explicit
     /// temporal-overlap edge rather than interval arithmetic.
     pub edge_bonus: f64,
+    /// Time source for the reported latency (mockable in tests).
+    pub clock: ClockHandle,
 }
 
 impl Default for TimeContextConfig {
@@ -37,6 +40,7 @@ impl Default for TimeContextConfig {
             max_results: 25,
             result_kinds: vec![NodeKind::PageVisit, NodeKind::Download],
             edge_bonus: 1.5,
+            clock: ClockHandle::real(),
         }
     }
 }
@@ -49,9 +53,11 @@ pub fn time_contextual_search(
     companion: &str,
     config: &TimeContextConfig,
 ) -> QueryResult {
-    let start = Instant::now();
+    let span = trace::span("query.timectx");
+    let sw = config.clock.start();
     let graph = browser.graph();
 
+    let stage = trace::span("text_search");
     let subject_hits = browser.text_index().search(subject);
     let companion_nodes: HashSet<NodeId> = browser
         .text_index()
@@ -59,13 +65,25 @@ pub fn time_contextual_search(
         .into_iter()
         .map(|(doc, _)| NodeId::new(doc))
         .collect();
+    drop(stage);
     if companion_nodes.is_empty() || subject_hits.is_empty() {
+        let elapsed = sw.elapsed();
+        crate::slo::observe(
+            browser.obs(),
+            "timectx",
+            "query.timectx.latency_us",
+            elapsed,
+            None,
+            false,
+        );
+        span.finish_with(elapsed);
         return QueryResult {
             hits: Vec::new(),
-            elapsed: start.elapsed(),
+            elapsed,
             truncated: false,
         };
     }
+    let stage = trace::span("associate");
     let companion_intervals: Vec<TimeInterval> = companion_nodes
         .iter()
         .filter_map(|&n| graph.node(n).ok().map(|node| *node.interval()))
@@ -119,9 +137,20 @@ pub fn time_contextual_search(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    drop(stage);
+    let elapsed = sw.elapsed();
+    crate::slo::observe(
+        browser.obs(),
+        "timectx",
+        "query.timectx.latency_us",
+        elapsed,
+        None,
+        false,
+    );
+    span.finish_with(elapsed);
     QueryResult {
         hits,
-        elapsed: start.elapsed(),
+        elapsed,
         truncated: false,
     }
 }

@@ -25,7 +25,9 @@ use bp_graph::{
     AttrValue, Edge, EdgeKind, GraphError, Node, NodeId, NodeKind, ProvenanceGraph, TimeInterval,
     Timestamp, Version,
 };
+use bp_obs::{Counter, Level, Obs};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SNAPSHOT_FILE: &str = "snapshot.bps";
 const LOG_FILE: &str = "log.wal";
@@ -69,6 +71,10 @@ pub struct ProvenanceStore {
     /// frame at [`commit_batch`](Self::commit_batch) — making multi-op
     /// units (one browser event's worth of mutations) atomic on disk.
     pending: Option<Vec<u8>>,
+    obs: Obs,
+    /// Hot-path metric handles, resolved once at open.
+    wal_appends: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
 }
 
 impl ProvenanceStore {
@@ -82,8 +88,25 @@ impl ProvenanceStore {
     /// records cannot be reapplied (which indicates on-disk corruption
     /// beyond a torn tail).
     pub fn open(dir: impl AsRef<Path>, policy: SyncPolicy) -> StorageResult<Self> {
+        Self::open_with_obs(dir, policy, Obs::global())
+    }
+
+    /// [`open`](Self::open) reporting metrics and journal events into an
+    /// explicit [`Obs`] handle instead of the process-global one. Tests
+    /// that assert exact metric values use this with [`Obs::isolated`].
+    ///
+    /// # Errors
+    ///
+    /// See [`open`](Self::open).
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        policy: SyncPolicy,
+        obs: Obs,
+    ) -> StorageResult<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let wal_appends = obs.counter("wal.appends_total");
+        let wal_bytes = obs.counter("wal.bytes_written");
         let mut store = ProvenanceStore {
             graph: ProvenanceGraph::new(),
             interner: StringInterner::new(),
@@ -94,9 +117,34 @@ impl ProvenanceStore {
             dir,
             policy,
             pending: None,
+            obs,
+            wal_appends,
+            wal_bytes,
         };
         store.recover()?;
+        store.publish_gauges();
         Ok(store)
+    }
+
+    /// The observability handle this store reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Publishes the store's size gauges (graph, interner) to the registry.
+    fn publish_gauges(&self) {
+        self.obs
+            .gauge("storage.graph_nodes")
+            .set(self.graph.node_count() as i64);
+        self.obs
+            .gauge("storage.graph_edges")
+            .set(self.graph.edge_count() as i64);
+        self.obs
+            .gauge("storage.interner_strings")
+            .set(self.interner.len() as i64);
+        self.obs
+            .gauge("storage.interner_bytes")
+            .set(self.interner.payload_bytes() as i64);
     }
 
     fn recover(&mut self) -> StorageResult<()> {
@@ -140,6 +188,27 @@ impl ProvenanceStore {
         }
         // Future appends continue the replayed delta state.
         self.codec = codec;
+        if self.wal.truncated_on_open() {
+            self.obs.counter("wal.torn_tail_truncations").inc();
+            self.obs.journal().record(
+                Level::Warn,
+                "torn tail truncated on log open (crash mid-append); committed history intact",
+            );
+        }
+        if !contents.frames.is_empty() {
+            self.obs
+                .counter("wal.recovered_frames")
+                .add(contents.frames.len() as u64);
+            self.obs.journal().record(
+                Level::Info,
+                format!(
+                    "recovered {} log frames: {} nodes, {} edges",
+                    contents.frames.len(),
+                    self.graph.node_count(),
+                    self.graph.edge_count()
+                ),
+            );
+        }
         Ok(())
     }
 
@@ -278,12 +347,21 @@ impl ProvenanceStore {
             .collect()
     }
 
+    /// Appends one frame to the log, keeping the WAL counters in step.
+    fn append_frame(&mut self, payload: &[u8]) -> StorageResult<()> {
+        self.wal.append(payload)?;
+        self.wal_appends.inc();
+        // 8 bytes of frame header (length + checksum) per append.
+        self.wal_bytes.add(payload.len() as u64 + 8);
+        Ok(())
+    }
+
     fn commit(&mut self, op: Op, mut batch: Vec<u8>) -> StorageResult<Option<NodeId>> {
         self.codec.encode(&op, &mut batch);
         let result = self.apply_structural(&op)?;
         match &mut self.pending {
             Some(pending) => pending.extend_from_slice(&batch),
-            None => self.wal.append(&batch)?,
+            None => self.append_frame(&batch)?,
         }
         Ok(result)
     }
@@ -314,7 +392,8 @@ impl ProvenanceStore {
     pub fn commit_batch(&mut self) -> StorageResult<()> {
         if let Some(pending) = self.pending.take() {
             if !pending.is_empty() {
-                self.wal.append(&pending)?;
+                self.append_frame(&pending)?;
+                self.publish_gauges();
             }
         }
         Ok(())
@@ -500,6 +579,17 @@ impl ProvenanceStore {
             let replacement = self.intern(&format!("[redacted:{}]", node.index()), &mut batch);
             self.commit(Op::RedactNode { node, replacement }, batch)?;
         }
+        if !nodes.is_empty() {
+            self.obs
+                .counter("storage.redactions_total")
+                .add(nodes.len() as u64);
+            // Deliberately does NOT name the key: the journal must not
+            // become a side channel for content the user asked to scrub.
+            self.obs.journal().record(
+                Level::Warn,
+                format!("redaction scrubbed {} history objects", nodes.len()),
+            );
+        }
         Ok(nodes)
     }
 
@@ -552,6 +642,7 @@ impl ProvenanceStore {
     ///
     /// Returns [`StorageError::Io`] on filesystem failure.
     pub fn snapshot(&mut self) -> StorageResult<()> {
+        let sw = bp_obs::ClockHandle::real().start();
         // An open batch must land in the (old) log before it is replaced;
         // its ops are already applied in memory and the snapshot below
         // captures them, so flushing keeps every representation aligned.
@@ -638,6 +729,20 @@ impl ProvenanceStore {
         // Future log records must reference the compact table, matching
         // what recovery will replay.
         self.interner = compact;
+        let elapsed = sw.elapsed();
+        self.obs.counter("storage.compactions_total").inc();
+        self.obs
+            .histogram("storage.snapshot_duration_us")
+            .record_duration(elapsed);
+        self.publish_gauges();
+        let report = self.size_report();
+        self.obs.journal().record(
+            Level::Info,
+            format!(
+                "compaction wrote {} snapshot bytes ({} nodes, {} edges) in {elapsed:?}; log reset",
+                report.snapshot_bytes, report.node_count, report.edge_count
+            ),
+        );
         Ok(())
     }
 

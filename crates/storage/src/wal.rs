@@ -57,6 +57,8 @@ pub struct Wal {
     policy: SyncPolicy,
     /// Offset of the end of the last known-good frame.
     clean_len: u64,
+    /// Whether [`Wal::open`] found and truncated a torn tail.
+    truncated_on_open: bool,
 }
 
 /// The readable content of a log: clean frames plus torn-tail diagnostics.
@@ -96,7 +98,13 @@ impl Wal {
             path,
             policy,
             clean_len: contents.clean_len,
+            truncated_on_open: contents.torn_tail,
         })
+    }
+
+    /// `true` if opening this log found a torn tail and truncated it.
+    pub fn truncated_on_open(&self) -> bool {
+        self.truncated_on_open
     }
 
     /// The path this log lives at.

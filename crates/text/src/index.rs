@@ -44,6 +44,7 @@ pub struct InvertedIndex {
     postings: HashMap<String, Vec<Posting>>,
     doc_lengths: HashMap<DocId, u32>,
     total_docs: usize,
+    total_postings: usize,
 }
 
 impl InvertedIndex {
@@ -60,6 +61,11 @@ impl InvertedIndex {
     /// Number of distinct terms.
     pub fn term_count(&self) -> usize {
         self.postings.len()
+    }
+
+    /// Number of postings ((term, document) pairs) across all lists.
+    pub fn posting_count(&self) -> usize {
+        self.total_postings
     }
 
     /// Indexes `text` under `doc`. Calling again for the same `doc` *adds*
@@ -87,23 +93,32 @@ impl InvertedIndex {
             // sorted makes this O(1) amortized instead of O(list).
             match list.last_mut() {
                 Some(last) if last.doc == doc => last.term_frequency += count,
-                Some(last) if last.doc < doc => list.push(Posting {
-                    doc,
-                    term_frequency: count,
-                }),
-                None => list.push(Posting {
-                    doc,
-                    term_frequency: count,
-                }),
+                Some(last) if last.doc < doc => {
+                    list.push(Posting {
+                        doc,
+                        term_frequency: count,
+                    });
+                    self.total_postings += 1;
+                }
+                None => {
+                    list.push(Posting {
+                        doc,
+                        term_frequency: count,
+                    });
+                    self.total_postings += 1;
+                }
                 Some(_) => match list.binary_search_by_key(&doc, |p| p.doc) {
                     Ok(i) => list[i].term_frequency += count,
-                    Err(i) => list.insert(
-                        i,
-                        Posting {
-                            doc,
-                            term_frequency: count,
-                        },
-                    ),
+                    Err(i) => {
+                        list.insert(
+                            i,
+                            Posting {
+                                doc,
+                                term_frequency: count,
+                            },
+                        );
+                        self.total_postings += 1;
+                    }
                 },
             }
         }
@@ -201,10 +216,14 @@ impl InvertedIndex {
             return false;
         }
         self.total_docs -= 1;
+        let mut removed = 0usize;
         self.postings.retain(|_, list| {
+            let before = list.len();
             list.retain(|p| p.doc != doc);
+            removed += before - list.len();
             !list.is_empty()
         });
+        self.total_postings -= removed;
         true
     }
 }

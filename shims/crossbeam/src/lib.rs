@@ -1,0 +1,198 @@
+//! Offline drop-in shim for the `crossbeam::channel` API surface this
+//! workspace uses, backed by `std::sync::mpsc`. The build environment has
+//! no crates-registry access, so the real crate cannot be fetched.
+//!
+//! Crossbeam exposes one `Sender` type for both bounded and unbounded
+//! channels; std splits them into `Sender`/`SyncSender`. The shim unifies
+//! them behind an enum so `channel::unbounded()` and `channel::bounded(n)`
+//! interoperate exactly like the real crate at the call sites we have
+//! (single consumer; crossbeam's multi-consumer cloning of `Receiver` is
+//! not provided).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer channels in the crossbeam API shape.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderInner<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderInner::Unbounded(s) => SenderInner::Unbounded(s.clone()),
+                SenderInner::Bounded(s) => SenderInner::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel; clonable across threads.
+    pub struct Sender<T> {
+        inner: SenderInner<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking if the channel is bounded and full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back when the receiving side has hung up.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                SenderInner::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when the channel is empty and all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a message if one is immediately available.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+
+        /// Blocking iterator over messages until disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SenderInner::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderInner::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_multi_producer_in_order_per_sender() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_ack_round_trip() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send("ack").unwrap();
+        assert_eq!(rx.recv().unwrap(), "ack");
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn receiver_borrowing_iter_drains_available() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!((&rx).into_iter().count(), 3);
+    }
+}

@@ -1,10 +1,14 @@
 //! Concurrency integration: the background capture pipeline ingests a
 //! realistic stream while reader threads query the same store.
 
-use bp_core::{CaptureConfig, CapturePipeline, ProvenanceBrowser};
-use bp_graph::NodeKind;
+use bp_core::{
+    BrowserEvent, CaptureConfig, CapturePipeline, NavigationCause, ProvenanceBrowser, TabId,
+};
+use bp_graph::{NodeKind, Timestamp};
+use bp_obs::Obs;
 use bp_query::{contextual_history_search, ContextualConfig};
 use bp_sim::calibrate;
+use bp_storage::SyncPolicy;
 use std::path::PathBuf;
 
 struct TempDir(PathBuf);
@@ -75,6 +79,85 @@ fn pipeline_ingests_simulated_days_with_concurrent_queries() {
     assert_eq!(reopened.graph().node_count(), nodes);
     assert!(reopened.graph().verify_acyclic());
     assert!(reopened.graph().nodes_of_kind(NodeKind::PageVisit).count() > 0);
+}
+
+/// The tentpole's exactness claim: with an isolated registry, the capture
+/// counters agree with the submitted stream to the event, even when four
+/// producer threads race into the queue.
+#[test]
+fn pipeline_metrics_are_exact_under_concurrent_ingest() {
+    let dir = TempDir::new("metrics");
+    let obs = Obs::isolated();
+    let browser = ProvenanceBrowser::open_with_obs(
+        &dir.0,
+        CaptureConfig::default(),
+        SyncPolicy::OsManaged,
+        obs.clone(),
+    )
+    .unwrap();
+    let pipeline = CapturePipeline::start(browser);
+
+    // Four producers, one tab each: a tab open plus 100 navigations.
+    // Timestamps are striped per tab (each tab's stream is internally
+    // ordered; nothing requires global order across tabs).
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let pipeline = &pipeline;
+            s.spawn(move || {
+                let tab = TabId(t);
+                let base = i64::from(t) * 1_000_000;
+                assert!(pipeline.submit(BrowserEvent::tab_opened(
+                    Timestamp::from_secs(base),
+                    tab,
+                    None
+                )));
+                for i in 0..100 {
+                    assert!(pipeline.submit(BrowserEvent::navigate(
+                        Timestamp::from_secs(base + i + 1),
+                        tab,
+                        format!("http://t{t}.example/p{i}"),
+                        Some("concurrent page"),
+                        NavigationCause::Link,
+                    )));
+                }
+            });
+        }
+    });
+    // One deliberately invalid event: a navigation in a never-opened tab.
+    pipeline.submit(BrowserEvent::navigate(
+        Timestamp::from_secs(9_000_000),
+        TabId(9),
+        "http://invalid.example/",
+        None,
+        NavigationCause::Link,
+    ));
+    pipeline.flush();
+
+    assert_eq!(
+        obs.counter("capture.events_total").get(),
+        404,
+        "4 tab opens + 400 navigations, exactly"
+    );
+    assert_eq!(obs.counter("capture.events_rejected").get(), 1);
+    assert_eq!(
+        obs.gauge("capture.queue_depth").get(),
+        0,
+        "flush drains the queue"
+    );
+    assert_eq!(obs.histogram("capture.batch_ops").snapshot().count, 404);
+    assert!(
+        obs.counter("wal.appends_total").get() >= 404,
+        "every applied event commits at least one log frame"
+    );
+    assert!(obs.counter("capture.flushes").get() >= 1);
+
+    assert_eq!(pipeline.rejected_events(), 1);
+    let browser = pipeline.shutdown();
+    assert_eq!(
+        browser.graph().nodes_of_kind(NodeKind::PageVisit).count(),
+        400
+    );
+    assert!(browser.graph().verify_acyclic());
 }
 
 #[test]

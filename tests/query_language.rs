@@ -126,7 +126,7 @@ fn queries_stay_inside_the_paper_latency_bound() {
     for q in [
         "nodes where type = search_term".to_owned(),
         format!("ancestors(#{})", download.index()),
-        format!("descendants(#0) where type = download"),
+        "descendants(#0) where type = download".to_string(),
         format!("overlapping(#{}) where type = visit", download.index()),
     ] {
         let rows = ql::run(&b, &q, &Budget::new()).unwrap();

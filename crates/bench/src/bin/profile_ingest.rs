@@ -3,14 +3,13 @@
 use bp_bench::fixtures;
 use bp_core::{CaptureConfig, CaptureEngine};
 use bp_storage::{ProvenanceStore, SyncPolicy};
-use std::time::Instant;
 
 fn main() {
     let days: u32 = std::env::args()
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     let history = fixtures::history(days);
     println!(
         "generate {} events: {:?}",
@@ -22,7 +21,7 @@ fn main() {
     let profile = fixtures::TempProfile::new("profile-engine");
     let store = ProvenanceStore::open(profile.path(), SyncPolicy::OsManaged).unwrap();
     let mut engine = CaptureEngine::new(store, CaptureConfig::default());
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     for event in &history.events {
         engine.handle(event).unwrap();
     }
@@ -37,7 +36,7 @@ fn main() {
 
     // Phase 2: full browser (adds text indexing).
     let profile2 = fixtures::TempProfile::new("profile-browser");
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     let mut browser =
         bp_core::ProvenanceBrowser::open(profile2.path(), CaptureConfig::default()).unwrap();
     browser.ingest_all(&history.events).unwrap();
@@ -45,7 +44,7 @@ fn main() {
 
     // Phase 3: recovery replay.
     drop(browser);
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     let _b = bp_core::ProvenanceBrowser::open(profile2.path(), CaptureConfig::default()).unwrap();
     println!("recovery replay: {:?}", t0.elapsed());
     component_timing(days);
@@ -64,7 +63,7 @@ fn component_timing(days: u32) {
     println!("monotone: {}", g.is_monotone());
 
     // Graph rebuild.
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     let mut g2 = bp_graph::ProvenanceGraph::new();
     for (_, n) in g.nodes() {
         g2.add_node(n.clone());
@@ -75,7 +74,7 @@ fn component_timing(days: u32) {
     println!("graph rebuild: {:?}", t0.elapsed());
 
     // KeyIndex rebuild.
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     let mut keys = bp_storage::KeyIndex::new();
     for (id, n) in g.nodes() {
         keys.insert(n.key(), id);
@@ -83,7 +82,7 @@ fn component_timing(days: u32) {
     println!("key index rebuild: {:?}", t0.elapsed());
 
     // TimeIndex rebuild.
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     let mut times = bp_storage::TimeIndex::new();
     for (id, n) in g.nodes() {
         times.insert(id, *n.interval());
@@ -92,7 +91,7 @@ fn component_timing(days: u32) {
 
     // Close replay against the time index (the capture path closes most
     // nodes once).
-    let t0 = Instant::now();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
     for (id, n) in g.nodes() {
         if let Some(c) = n.interval().close() {
             times.close(id, c);

@@ -436,12 +436,23 @@ impl CaptureEngine {
                 }
             }
             NavigationCause::Bookmark { .. } => {
-                let b = bookmark_node.expect("resolved above");
+                // Resolved before any mutation; a miss here means the
+                // pre-validation above regressed, so degrade to an error
+                // rather than aborting the capture thread.
+                let Some(b) = bookmark_node else {
+                    return Err(CoreError::BadEvent(
+                        "bookmark navigation lost its resolved node".to_owned(),
+                    ));
+                };
                 self.store.add_edge(visit, b, EdgeKind::BookmarkClick, at)?;
                 edges += 1;
             }
             NavigationCause::Redirect { status } => {
-                let p = prev.expect("validated above");
+                let Some(p) = prev else {
+                    return Err(CoreError::BadEvent(
+                        "redirect with no originating page".to_owned(),
+                    ));
+                };
                 self.store.add_edge_with_attrs(
                     visit,
                     p,
@@ -479,12 +490,12 @@ impl CaptureEngine {
         }
 
         // First navigation in a spawned tab: the NewTab relationship.
+        // The tab was validated open at entry; if it vanished mid-capture,
+        // skipping the NewTab edge degrades more gracefully than panicking.
         let opener_visit = self
             .tabs
             .get_mut(&tab)
-            .expect("tab checked open")
-            .opener_visit
-            .take();
+            .and_then(|state| state.opener_visit.take());
         if self.config.record_new_tab {
             if let Some(o) = opener_visit {
                 self.store.add_edge(visit, o, EdgeKind::NewTab, at)?;
@@ -509,7 +520,9 @@ impl CaptureEngine {
             }
         }
 
-        self.tabs.get_mut(&tab).expect("tab checked open").current = Some(visit);
+        if let Some(state) = self.tabs.get_mut(&tab) {
+            state.current = Some(visit);
+        }
         Ok(CaptureOutcome {
             primary: Some(visit),
             edges_added: edges,

@@ -226,6 +226,7 @@ impl CapturePipeline {
         drop(self);
         shared
             .try_into_inner()
+            // bp-lint: allow(L002): documented # Panics contract — the browser cannot be returned while readers hold it, and blocking forever would hide the bug
             .unwrap_or_else(|_| panic!("readers still hold SharedBrowser handles"))
     }
 }

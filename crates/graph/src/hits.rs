@@ -117,7 +117,11 @@ pub fn hits(graph: &ProvenanceGraph, base_set: &[NodeId], config: &HitsConfig) -
     let mut arcs: Vec<(usize, usize)> = Vec::new();
     for (i, &node) in members.iter().enumerate() {
         for (eid, parent) in graph.parents(node) {
-            let kind = graph.edge(eid).expect("live edge").kind();
+            // Adjacency lists only hold live edges; a miss would mean the
+            // graph's internal invariant broke, and skipping the arc
+            // degrades better than aborting a query (L002).
+            let Ok(edge) = graph.edge(eid) else { continue };
+            let kind = edge.kind();
             if edge_ok(kind) {
                 if let Some(&j) = index_of.get(&parent) {
                     arcs.push((i, j)); // node is hub, parent is authority

@@ -11,8 +11,8 @@ use crate::edge::EdgeKind;
 use crate::graph::ProvenanceGraph;
 use crate::ids::NodeId;
 use crate::traverse::Budget;
+use bp_obs::clock::ClockHandle;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Configuration for [`expand`].
 #[derive(Debug, Clone)]
@@ -106,7 +106,7 @@ pub fn expand(
     config: &ExpansionConfig,
     budget: &Budget,
 ) -> Expansion {
-    let clock = budget.deadline().map(|d| (Instant::now(), d));
+    let clock = budget.deadline().map(|d| (ClockHandle::real().start(), d));
     let mut out = Expansion::default();
     // Frontier holds (node, incoming weight) for the current hop.
     let mut frontier: Vec<(NodeId, f64)> = Vec::new();
@@ -126,7 +126,7 @@ pub fn expand(
         }
         let mut next: HashMap<NodeId, f64> = HashMap::new();
         for &(node, w) in &frontier {
-            if let Some((t0, limit)) = clock {
+            if let Some((ref t0, limit)) = clock {
                 if t0.elapsed() > limit {
                     out.truncated = true;
                     return out;
@@ -136,8 +136,8 @@ pub fn expand(
                 if out.weight.contains_key(&nbr) {
                     continue; // layered: no echo back to reached nodes
                 }
-                let kind = graph.edge(eid).expect("live edge").kind();
-                let spread = w * config.decay * config.weight_of(kind);
+                let Ok(edge) = graph.edge(eid) else { continue };
+                let spread = w * config.decay * config.weight_of(edge.kind());
                 if spread < config.min_weight {
                     continue;
                 }

@@ -102,7 +102,8 @@ pub fn connected_components(
         seen[start] = true;
         while let Some(node) = stack.pop() {
             for (eid, nbr) in graph.neighbors(node) {
-                let kind = graph.edge(eid).expect("live edge").kind();
+                let Ok(edge) = graph.edge(eid) else { continue };
+                let kind = edge.kind();
                 if edge_filter(kind) && !seen[nbr.as_usize()] {
                     seen[nbr.as_usize()] = true;
                     stack.push(nbr);

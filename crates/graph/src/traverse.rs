@@ -10,8 +10,9 @@
 use crate::edge::EdgeKind;
 use crate::graph::ProvenanceGraph;
 use crate::ids::{EdgeId, NodeId};
+use bp_obs::clock::ClockHandle;
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which direction a traversal walks the derives-from edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,7 +149,7 @@ pub fn bfs(
     mut edge_filter: impl FnMut(EdgeKind) -> bool,
     budget: &Budget,
 ) -> Traversal {
-    let clock = budget.deadline.map(|d| (Instant::now(), d));
+    let clock = budget.deadline.map(|d| (ClockHandle::real().start(), d));
     let mut reached = Vec::new();
     let mut truncated = false;
     if start.as_usize() >= graph.node_count() {
@@ -170,9 +171,9 @@ pub fn bfs(
                 break;
             }
         }
-        if let Some((t0, limit)) = clock {
+        if let Some((ref t0, limit)) = clock {
             // Check the clock every node; traversal steps are cheap enough
-            // that an Instant::elapsed per node keeps us well within the
+            // that a stopwatch read per node keeps us well within the
             // 200 ms bound with negligible overhead.
             if t0.elapsed() > limit {
                 truncated = true;
@@ -190,10 +191,10 @@ pub fn bfs(
             Direction::Descendants => graph.children(r.node).collect(),
         };
         for (eid, next) in hops {
-            let kind = graph
-                .edge(eid)
-                .expect("adjacency lists only hold live edges")
-                .kind();
+            // Adjacency lists only hold live edges; skipping a (supposedly
+            // impossible) dead one degrades better than aborting (L002).
+            let Ok(edge) = graph.edge(eid) else { continue };
+            let kind = edge.kind();
             if !edge_filter(kind) {
                 continue;
             }
@@ -284,6 +285,7 @@ impl Path {
     /// Panics if the path is empty; paths produced by this module always
     /// contain at least the start node.
     pub fn target(&self) -> NodeId {
+        // bp-lint: allow(L002): documented # Panics contract — every constructor seeds nodes with the start node, so emptiness is a caller-visible API misuse
         *self.nodes.last().expect("paths are non-empty")
     }
 }
@@ -299,7 +301,11 @@ fn reconstruct_path(graph: &ProvenanceGraph, traversal: &Traversal, target: Node
     while let Some(r) = by_node.get(&cur) {
         match r.via {
             Some(eid) => {
-                let e = graph.edge(eid).expect("path edges are live");
+                let Ok(e) = graph.edge(eid) else {
+                    // Path edges come from the traversal and are live by
+                    // construction; stop rebuilding rather than abort.
+                    break;
+                };
                 // The BFS stepped from one endpoint to the other; recover
                 // the predecessor endpoint regardless of direction.
                 let prev = if e.src() == cur { e.dst() } else { e.src() };

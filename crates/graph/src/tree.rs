@@ -63,7 +63,7 @@ impl HistoryTree {
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for node in graph.node_ids() {
             let nav_parent = graph.parents(node).find_map(|(eid, target)| {
-                let kind = graph.edge(eid).expect("live edge").kind();
+                let kind = graph.edge(eid).ok()?.kind();
                 is_navigation(kind).then_some(target)
             });
             if let Some(p) = nav_parent {

@@ -1,0 +1,5 @@
+//! Fixture: a compliant codec file — checked conversions, no panics.
+
+pub fn frame_len(payload: &[u8]) -> Result<u32, String> {
+    u32::try_from(payload.len()).map_err(|_| "payload exceeds frame size".to_owned())
+}

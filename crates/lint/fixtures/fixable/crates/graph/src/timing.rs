@@ -1,0 +1,16 @@
+//! Fixture: one elapsed-only stopwatch the fixer can rewrite, and one
+//! disqualified pair it must leave alone.
+
+pub fn measured() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    work();
+    t0.elapsed()
+}
+
+pub fn disqualified() -> bool {
+    let a = std::time::Instant::now();
+    let b = std::time::Instant::now();
+    b.duration_since(a).as_micros() > 0
+}
+
+fn work() {}

@@ -1,0 +1,23 @@
+//! Fixture: L001 + L002 violations, one justified allowlist, and one
+//! reasonless directive (L000). Never compiled — input for golden tests.
+
+use std::time::Instant;
+
+pub fn capture_latency() -> std::time::Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn sanctioned(v: Option<u32>) -> u32 {
+    // bp-lint: allow(L002): fixture demonstrating a justified suppression
+    v.unwrap()
+}
+
+// bp-lint: allow(L002)
+pub fn reasonless(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: files under tests/ are wholly test scope — panics allowed.
+
+#[test]
+fn unwrap_is_fine_here() {
+    let v: Option<u32> = Some(1);
+    assert_eq!(v.unwrap(), 1);
+}

@@ -1,0 +1,5 @@
+//! Fixture: the one sanctioned raw-clock file — L001 exempts this path.
+
+pub fn anchor() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,12 @@
+//! Fixture: hash-order iteration feeding an encoder (L004).
+
+use std::collections::HashMap;
+
+pub fn encode_dict(dict: &HashMap<u32, u64>, out: &mut Vec<u8>) {
+    for (id, count) in dict.iter() {
+        write_u64(out, u64::from(*id));
+        write_u64(out, *count);
+    }
+}
+
+fn write_u64(_out: &mut Vec<u8>, _v: u64) {}

@@ -1,0 +1,15 @@
+//! Fixture: a lossy integer cast in a codec file (L003); the same cast in
+//! a test region is exempt.
+
+pub fn write_len(out: &mut Vec<u8>, len: usize) {
+    out.push(len as u8);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_are_fine_in_tests() {
+        let n = 300usize;
+        assert_eq!(n as u8, 44);
+    }
+}

@@ -1,0 +1,209 @@
+//! `bp-lint fix`: mechanically safe rewrites.
+//!
+//! Only one rewrite is implemented, because it is the only one that is
+//! provably behavior-preserving from the token stream alone:
+//!
+//! * **L001, elapsed-only stopwatch**: a `let t = Instant::now();` whose
+//!   binding is used *exclusively* as `t.elapsed()` is rewritten to
+//!   `let t = bp_obs::clock::ClockHandle::real().start();` —
+//!   [`bp_obs` `Stopwatch`] has a compatible `elapsed()` returning
+//!   `Duration`. Any other use of the binding (comparison, `duration_since`,
+//!   arithmetic) disqualifies the site and it is left for a human.
+//!
+//! Everything else (error-path design for L002/L003, container choice for
+//! L004, deadline plumbing for L005) needs judgment and stays manual.
+
+use crate::engine::{build_context, FileContext};
+use crate::lexer::{lex, TokenKind};
+use std::path::Path;
+
+/// One applied (or planned) rewrite.
+#[derive(Debug)]
+pub struct Fix {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the rewritten expression.
+    pub line: u32,
+    /// What was done.
+    pub note: String,
+}
+
+/// Computes the fixed source for one file, or `None` when nothing applies.
+pub fn fix_source(rel_path: &str, src: &str) -> Option<(String, Vec<Fix>)> {
+    if rel_path == "crates/obs/src/clock.rs" {
+        return None;
+    }
+    let lexed = lex(src);
+    let ctx = build_context(rel_path, src, &lexed);
+    let sites = elapsed_only_clock_sites(&ctx);
+    if sites.is_empty() {
+        return None;
+    }
+    // Rewrite back-to-front so earlier byte offsets stay valid.
+    let mut out = src.to_string();
+    let mut fixes = Vec::new();
+    for &(start, end) in sites.iter().rev() {
+        out.replace_range(start..end, "bp_obs::clock::ClockHandle::real().start()");
+        fixes.push(Fix {
+            path: rel_path.to_string(),
+            line: ctx.lines.line_of(start),
+            note:
+                "Instant::now() -> ClockHandle::real().start() (binding only used via .elapsed())"
+                    .to_string(),
+        });
+    }
+    fixes.reverse();
+    Some((out, fixes))
+}
+
+/// Finds byte ranges of `[std::time::]Instant::now()` expressions bound by
+/// a `let` whose binding is used only as `NAME.elapsed()`.
+fn elapsed_only_clock_sites(ctx: &FileContext<'_>) -> Vec<(usize, usize)> {
+    let toks = &ctx.lexed.tokens;
+    let n = toks.len();
+    let mut sites = Vec::new();
+    for i in 0..n {
+        if ctx.text(i) != "let" || ctx.in_test(toks[i].start) {
+            continue;
+        }
+        // let NAME = <expr ending in Instant::now()> ;
+        let mut j = i + 1;
+        if ctx.is(j, "mut") {
+            j += 1;
+        }
+        if j >= n || toks[j].kind != TokenKind::Ident {
+            continue;
+        }
+        let name_idx = j;
+        if !ctx.is(j + 1, "=") {
+            continue;
+        }
+        // Expression must be exactly [std :: time ::] Instant :: now ( ) ;
+        let mut e = j + 2;
+        let expr_start_tok = e;
+        if ctx.is(e, "std") && ctx.is(e + 1, ":") && ctx.is(e + 2, ":") && ctx.is(e + 3, "time") {
+            e += 6; // std : : time : :
+        } else if ctx.is(e, "time") && ctx.is(e + 1, ":") && ctx.is(e + 2, ":") {
+            e += 3;
+        }
+        if !(ctx.is(e, "Instant")
+            && ctx.is(e + 1, ":")
+            && ctx.is(e + 2, ":")
+            && ctx.is(e + 3, "now")
+            && ctx.is(e + 4, "(")
+            && ctx.is(e + 5, ")")
+            && ctx.is(e + 6, ";"))
+        {
+            continue;
+        }
+        if elapsed_only(ctx, name_idx, e + 6) {
+            sites.push((toks[expr_start_tok].start, toks[e + 5].end));
+        }
+    }
+    sites
+}
+
+/// `true` when every later use of the binding at `name_idx` is
+/// `NAME . elapsed (`. The scan stops at the enclosing function's end and
+/// at a shadowing `let NAME`, so rebound stopwatches are judged
+/// independently.
+fn elapsed_only(ctx: &FileContext<'_>, name_idx: usize, from: usize) -> bool {
+    let toks = &ctx.lexed.tokens;
+    let name = ctx.text(name_idx);
+    let scope_end = ctx
+        .fns
+        .iter()
+        .filter_map(|f| f.body)
+        .find(|&(bs, be)| bs < name_idx && name_idx < be)
+        .map_or(toks.len(), |(_, be)| be);
+    let mut uses = 0usize;
+    // The scan looks behind and ahead of `k`; an index loop is the
+    // clearer idiom here.
+    #[allow(clippy::needless_range_loop)]
+    for k in from..scope_end {
+        if toks[k].kind != TokenKind::Ident || ctx.text(k) != name {
+            continue;
+        }
+        // A shadowing `let NAME` ends the original binding's scope.
+        if k > 0
+            && (ctx.is(k - 1, "let") || (ctx.is(k - 1, "mut") && k > 1 && ctx.is(k - 2, "let")))
+        {
+            break;
+        }
+        // Skip field-access / path positions (`x.NAME`, `a::NAME`).
+        if k > 0 && (ctx.is(k - 1, ".") || ctx.is(k - 1, ":")) {
+            continue;
+        }
+        uses += 1;
+        if !(ctx.is(k + 1, ".") && ctx.is(k + 2, "elapsed") && ctx.is(k + 3, "(")) {
+            return false;
+        }
+    }
+    uses > 0
+}
+
+/// Applies fixes under `root`; returns the rewrites performed.
+pub fn fix_tree(root: &Path) -> std::io::Result<Vec<Fix>> {
+    let mut all = Vec::new();
+    let mut files = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort();
+    for rel in files {
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs)?;
+        let rel_unix = rel.to_string_lossy().replace('\\', "/");
+        if let Some((fixed, fixes)) = fix_source(&rel_unix, &src) {
+            std::fs::write(&abs, fixed)?;
+            all.extend(fixes);
+        }
+    }
+    Ok(all)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "shims" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrites_elapsed_only_binding() {
+        let src = "fn f() {\n    let started = std::time::Instant::now();\n    work();\n    record(started.elapsed());\n}\nfn work() {}\nfn record(_d: std::time::Duration) {}\n";
+        let (fixed, fixes) = fix_source("crates/graph/src/x.rs", src).unwrap();
+        assert_eq!(fixes.len(), 1);
+        assert!(fixed.contains("let started = bp_obs::clock::ClockHandle::real().start();"));
+        assert!(!fixed.contains("Instant::now"));
+    }
+
+    #[test]
+    fn leaves_non_elapsed_uses_alone() {
+        let src = "fn f() {\n    let t0 = std::time::Instant::now();\n    let t1 = std::time::Instant::now();\n    let _d = t1.duration_since(t0);\n}\n";
+        assert!(fix_source("crates/graph/src/x.rs", src).is_none());
+    }
+
+    #[test]
+    fn never_touches_clock_rs_or_tests() {
+        let src = "fn f() { let t = std::time::Instant::now(); g(t.elapsed()); }\nfn g(_d: std::time::Duration) {}\n";
+        assert!(fix_source("crates/obs/src/clock.rs", src).is_none());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = std::time::Instant::now(); let _ = t.elapsed(); }\n}\n";
+        assert!(fix_source("crates/graph/src/x.rs", test_src).is_none());
+    }
+}

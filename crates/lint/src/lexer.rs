@@ -1,0 +1,406 @@
+//! A hand-rolled Rust token lexer.
+//!
+//! Produces a flat token stream (identifiers, literals, single-character
+//! punctuation) with byte spans, plus the comment list (needed for
+//! `bp-lint: allow(...)` directives). It understands exactly as much Rust
+//! lexical grammar as a linter needs: nested block comments, cooked and
+//! raw strings (with hash fences), byte strings, char literals vs.
+//! lifetimes, raw identifiers, and numeric literals — so that a `panic!`
+//! inside a string or comment is never mistaken for code.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`, `'_`).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A string, byte-string, or raw-string literal.
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A single punctuation byte (`.`, `:`, `!`, `(`, …).
+    Punct,
+}
+
+/// One lexed token with its byte span in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// One comment (line or block) with its span and starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the end of the comment.
+    pub end: usize,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// The lexer never fails: malformed input (an unterminated string at EOF,
+/// say) produces a best-effort token ending at EOF. Non-ASCII bytes are
+/// treated as identifier characters, which keeps multi-byte UTF-8
+/// sequences intact without a full Unicode table.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n {
+            if b[i + 1] == b'/' {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment { start, end: i });
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment { start, end: i });
+                continue;
+            }
+        }
+        // String-literal prefixes: r"", r#""#, b"", br"", br#""#, b''.
+        if c == b'r' || c == b'b' {
+            if let Some(end) = try_prefixed_literal(b, i) {
+                let kind = if src[i..end].contains('"') {
+                    TokenKind::Str
+                } else {
+                    TokenKind::Char
+                };
+                out.tokens.push(Token {
+                    kind,
+                    start: i,
+                    end,
+                });
+                i = end;
+                continue;
+            }
+        }
+        // Cooked string.
+        if c == b'"' {
+            let end = scan_cooked_string(b, i + 1);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                start: i,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            // Lifetime: 'ident NOT followed by a closing quote.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' {
+                    // 'a' — a char literal after all.
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        start: i,
+                        end: j + 1,
+                    });
+                    i = j + 1;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        start: i,
+                        end: j,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '\u{1F600}'.
+            let mut j = i + 1;
+            if j < n && b[j] == b'\\' {
+                j += 1;
+                if j < n && b[j] == b'u' {
+                    // \u{...}
+                    j += 1;
+                    if j < n && b[j] == b'{' {
+                        while j < n && b[j] != b'}' {
+                            j += 1;
+                        }
+                    }
+                    j += 1;
+                } else {
+                    j += 1; // the escaped byte
+                }
+            } else if j < n {
+                j += 1; // the literal byte (may start a UTF-8 sequence)
+                while j < n && b[j] >= 0x80 {
+                    j += 1;
+                }
+            }
+            if j < n && b[j] == b'\'' {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                start: i,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    i += 1;
+                } else if d == b'.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    // 1.5 — but not 0..10 (range) or 1.method().
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Identifier (including raw identifiers handled via the r-prefix
+        // check above falling through when not a string).
+        if is_ident_start(c) {
+            let start = i;
+            i += 1;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Everything else: one punctuation byte.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            start: i,
+            end: i + 1,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// If the bytes at `i` begin a prefixed literal (`r"`, `r#"`, `br"`,
+/// `b"`, `b'`, `r#ident` is NOT a literal), returns the end offset.
+fn try_prefixed_literal(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if j < n && b[j] == b'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if j >= n {
+        return None;
+    }
+    if raw {
+        // Count hash fence.
+        let mut hashes = 0usize;
+        while j < n && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != b'"' {
+            return None; // r#ident or bare r / br
+        }
+        j += 1;
+        // Scan to `"` followed by `hashes` hashes.
+        loop {
+            if j >= n {
+                return Some(n);
+            }
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < n && seen < hashes && b[k] == b'#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some(k);
+                }
+            }
+            j += 1;
+        }
+    }
+    // Non-raw: b"..." or b'...'.
+    if b[j] == b'"' {
+        return Some(scan_cooked_string(b, j + 1));
+    }
+    if b[j] == b'\'' {
+        j += 1;
+        while j < n {
+            if b[j] == b'\\' {
+                j += 2;
+            } else if b[j] == b'\'' {
+                return Some(j + 1);
+            } else {
+                j += 1;
+            }
+        }
+        return Some(n);
+    }
+    None
+}
+
+/// Scans a cooked (escaped) string starting just after the opening quote;
+/// returns the offset one past the closing quote.
+fn scan_cooked_string(b: &[u8], mut j: usize) -> usize {
+    let n = b.len();
+    while j < n {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| src[t.start..t.end].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(texts("foo.unwrap()"), vec!["foo", ".", "unwrap", "(", ")"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = texts(r#"let s = "panic!(unwrap())";"#);
+        assert!(toks.iter().all(|t| t != "panic" && t != "unwrap"));
+        assert_eq!(lex(r#""a\"b""#).tokens.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r##"let s = r#"contains "quotes" and unwrap()"#; x"##;
+        let toks = texts(src);
+        assert!(toks.contains(&"x".to_string()));
+        assert!(!toks.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = texts(r#"f(b"unwrap", b'\'', b'a')"#);
+        assert!(!toks.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let src = "a // unwrap()\nb /* panic! /* nested */ */ c";
+        let lexed = lex(src);
+        let toks: Vec<_> = lexed.tokens.iter().map(|t| &src[t.start..t.end]).collect();
+        assert_eq!(toks, vec!["a", "b", "c"]);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+        assert_eq!(texts("1.5f64"), vec!["1.5f64"]);
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof() {
+        let lexed = lex("let s = \"oops");
+        assert_eq!(lexed.tokens.last().unwrap().end, "let s = \"oops".len());
+    }
+}

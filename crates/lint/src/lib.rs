@@ -1,0 +1,32 @@
+//! # bp-lint — repo-specific static analysis for the provenance store
+//!
+//! The paper's claims rest on the provenance store being trustworthy: a
+//! durable on-disk format (deterministic bytes, no silent truncation) and
+//! queries that stay inside the 200 ms interactive bound. This crate is a
+//! from-scratch static-analysis pass — a hand-rolled Rust token lexer plus
+//! a rule engine — that machine-enforces those invariants over every
+//! workspace `.rs` file, so regressions cannot silently re-enter:
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L001 | no raw `Instant::now()`/`SystemTime::now()` outside `bp_obs::clock` |
+//! | L002 | no `unwrap`/`expect`/`panic!`/`unreachable!` in library-crate non-test code |
+//! | L003 | no lossy numeric `as` casts in the storage/text codecs |
+//! | L004 | no default-hasher map iteration feeding an encoder (replay determinism) |
+//! | L005 | every public query entry point consults `slo::Deadline` before iterating |
+//!
+//! Violations can be suppressed site-by-site with
+//! `// bp-lint: allow(L00X): <reason>` — the reason is mandatory, and a
+//! missing one is itself a violation (`L000`).
+//!
+//! Run `cargo run -p bp-lint -- check` (non-zero exit on violations) or
+//! `-- fix` for the mechanically safe rewrites.
+
+pub mod diag;
+pub mod engine;
+pub mod fixer;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Severity, Violation};
+pub use engine::{check_root, CheckReport, Engine};

@@ -1,0 +1,142 @@
+//! The `bp-lint` binary.
+//!
+//! ```text
+//! bp-lint check [--root PATH]   # exit 0 clean, 1 violations, 2 usage/io
+//! bp-lint fix   [--root PATH]   # apply mechanically safe rewrites
+//! bp-lint rules                 # list the rule set
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "check" => match parse_root(&args[1..]) {
+            Ok(root) => run_check(&root),
+            Err(msg) => fail_usage(&msg),
+        },
+        "fix" => match parse_root(&args[1..]) {
+            Ok(root) => run_fix(&root),
+            Err(msg) => fail_usage(&msg),
+        },
+        "rules" => {
+            for rule in bp_lint::rules::all_rules() {
+                println!("{}  {}", rule.id(), rule.description());
+            }
+            ExitCode::SUCCESS
+        }
+        other => fail_usage(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "bp-lint: repo-specific static analysis for the provenance store\n\
+         \n\
+         usage:\n\
+         \x20 bp-lint check [--root PATH]   check the workspace (exit 1 on violations)\n\
+         \x20 bp-lint fix   [--root PATH]   apply mechanically safe rewrites\n\
+         \x20 bp-lint rules                 list the rule set\n\
+         \n\
+         Suppress a finding with `// bp-lint: allow(L00X): <reason>` on or\n\
+         above the offending line; the reason is mandatory."
+    );
+}
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("bp-lint: {msg}");
+    usage();
+    ExitCode::from(2)
+}
+
+/// Parses `[--root PATH]`, defaulting to the workspace root (the nearest
+/// ancestor containing a top-level `Cargo.toml` with `[workspace]`, so the
+/// tool works from any crate directory).
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    let mut it = args.iter();
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let p = it.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(p));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    match root {
+        Some(r) => Ok(r),
+        None => find_workspace_root()
+            .ok_or_else(|| "could not locate workspace root; pass --root".to_string()),
+    }
+}
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run_check(root: &Path) -> ExitCode {
+    match bp_lint::check_root(root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            let n = report.violations.len();
+            let s = report.suppressions.len();
+            if n == 0 {
+                println!(
+                    "bp-lint: clean — {} files, 0 violations, {} allowlisted",
+                    report.files, s
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "bp-lint: FAILED — {} files, {} violation{}, {} allowlisted",
+                    report.files,
+                    n,
+                    if n == 1 { "" } else { "s" },
+                    s
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("bp-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_fix(root: &Path) -> ExitCode {
+    match bp_lint::fixer::fix_tree(root) {
+        Ok(fixes) => {
+            for f in &fixes {
+                println!("{}:{}: fixed: {}", f.path, f.line, f.note);
+            }
+            println!("bp-lint: applied {} fix(es)", fixes.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bp-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

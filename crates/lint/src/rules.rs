@@ -1,0 +1,628 @@
+//! The rule set: repo-specific invariants L001–L005.
+//!
+//! Rules are token-pattern checks over the [`FileContext`]; each one
+//! encodes an invariant the provenance store's correctness story depends
+//! on. See the crate docs for the one-line summaries and DESIGN.md for the
+//! full rationale.
+
+use crate::diag::Violation;
+use crate::engine::{FileContext, FnInfo};
+use std::collections::BTreeSet;
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable rule id (`L001`…).
+    fn id(&self) -> &'static str;
+    /// One-line description for `bp-lint rules` and docs.
+    fn description(&self) -> &'static str;
+    /// Runs the rule over one file.
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Violation>;
+}
+
+/// Every built-in rule, in id order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoRawClock),
+        Box::new(NoPanicInLib),
+        Box::new(NoLossyCastInCodec),
+        Box::new(DeterministicSerialization),
+        Box::new(SloGuard),
+    ]
+}
+
+/// Library crates whose non-test code must not abort (L002): the capture
+/// and query paths must degrade, not panic.
+const LIB_CRATES: [&str; 6] = [
+    "crates/core/src/",
+    "crates/storage/src/",
+    "crates/places/src/",
+    "crates/graph/src/",
+    "crates/text/src/",
+    "crates/query/src/",
+];
+
+/// Files forming the on-disk codec (L003): every byte written here must
+/// come from a checked conversion.
+const CODEC_FILES: [&str; 5] = [
+    "crates/storage/src/varint.rs",
+    "crates/storage/src/record.rs",
+    "crates/storage/src/wal.rs",
+    "crates/storage/src/crc.rs",
+    "crates/text/src/index.rs",
+];
+
+/// Integer target types whose `as` casts can silently truncate or
+/// reinterpret (L003).
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Function-call names that feed bytes to an encoder or WAL frame (L004).
+const ENCODE_SINKS: [&str; 8] = [
+    "encode",
+    "write_u64",
+    "write_u32",
+    "write_i64",
+    "write_str",
+    "write_bytes",
+    "append",
+    "serialize",
+];
+
+/// Iterator methods whose order leaks the hasher's state (L004).
+const ORDER_LEAKING_ITERS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+// ---------------------------------------------------------------------------
+// L001 — no-raw-clock
+// ---------------------------------------------------------------------------
+
+/// L001: all monotonic/wall-clock reads go through `bp_obs::clock`.
+pub struct NoRawClock;
+
+impl Rule for NoRawClock {
+    fn id(&self) -> &'static str {
+        "L001"
+    }
+    fn description(&self) -> &'static str {
+        "Instant::now()/SystemTime::now() only inside crates/obs/src/clock.rs; \
+         everything else uses bp_obs::clock so tests can mock time"
+    }
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Violation> {
+        if ctx.rel_path == "crates/obs/src/clock.rs" {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &ctx.lexed.tokens;
+        // Token scans look behind and ahead of `i`; an index loop is the
+        // clearer idiom here (same below).
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..toks.len().saturating_sub(3) {
+            let head = ctx.text(i);
+            if (head == "Instant" || head == "SystemTime")
+                && ctx.is(i + 1, ":")
+                && ctx.is(i + 2, ":")
+                && ctx.is(i + 3, "now")
+                && !ctx.in_test(toks[i].start)
+            {
+                out.push(ctx.violation(
+                    self.id(),
+                    i,
+                    format!(
+                        "raw `{head}::now()` call; route timing through \
+                         bp_obs::clock (ClockHandle / unix_time_ms) so tests can mock time"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L002 — no-panic-in-lib
+// ---------------------------------------------------------------------------
+
+/// L002: library crates return errors instead of aborting.
+pub struct NoPanicInLib;
+
+impl Rule for NoPanicInLib {
+    fn id(&self) -> &'static str {
+        "L002"
+    }
+    fn description(&self) -> &'static str {
+        "no unwrap()/expect()/panic!/unreachable! in non-test code of \
+         core, storage, places, graph, text, query — degrade, don't abort"
+    }
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Violation> {
+        if !LIB_CRATES.iter().any(|p| ctx.rel_path.starts_with(p)) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &ctx.lexed.tokens;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..toks.len() {
+            if ctx.in_test(toks[i].start) {
+                continue;
+            }
+            let t = ctx.text(i);
+            // `.unwrap(` / `.expect(` method calls.
+            if (t == "unwrap" || t == "expect") && i > 0 && ctx.is(i - 1, ".") && ctx.is(i + 1, "(")
+            {
+                out.push(ctx.violation(
+                    self.id(),
+                    i,
+                    format!(
+                        "`.{t}()` in a library crate: capture/query paths must \
+                         return an error (or degrade) instead of aborting"
+                    ),
+                ));
+            }
+            // panicking macros.
+            if matches!(t, "panic" | "unreachable" | "todo" | "unimplemented") && ctx.is(i + 1, "!")
+            {
+                out.push(ctx.violation(
+                    self.id(),
+                    i,
+                    format!(
+                        "`{t}!` in a library crate: capture/query paths must \
+                         return an error (or degrade) instead of aborting"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L003 — no-lossy-cast-in-codec
+// ---------------------------------------------------------------------------
+
+/// L003: the codec files use checked conversions, never `as`.
+pub struct NoLossyCastInCodec;
+
+impl Rule for NoLossyCastInCodec {
+    fn id(&self) -> &'static str {
+        "L003"
+    }
+    fn description(&self) -> &'static str {
+        "no integer `as` casts in storage/{varint,record,wal,crc}.rs and \
+         text/index.rs — use try_from with an error path"
+    }
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Violation> {
+        if !CODEC_FILES.contains(&ctx.rel_path.as_str()) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &ctx.lexed.tokens;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..toks.len().saturating_sub(1) {
+            if ctx.text(i) == "as"
+                && INT_TYPES.contains(&ctx.text(i + 1))
+                && !ctx.in_test(toks[i].start)
+            {
+                out.push(ctx.violation(
+                    self.id(),
+                    i,
+                    format!(
+                        "numeric `as {}` cast in a codec file can silently \
+                         truncate on-disk values; use try_from with an error path",
+                        ctx.text(i + 1)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L004 — deterministic-serialization
+// ---------------------------------------------------------------------------
+
+/// L004: no default-hasher map iteration inside functions that feed an
+/// encoder/WAL frame — on-disk bytes must be replay-deterministic.
+pub struct DeterministicSerialization;
+
+impl DeterministicSerialization {
+    /// Collects struct fields declared with a hash-container type.
+    fn hash_fields(ctx: &FileContext<'_>) -> BTreeSet<String> {
+        let mut fields = BTreeSet::new();
+        let toks = &ctx.lexed.tokens;
+        // Pattern: `ident : … HashMap|HashSet … ,|}` inside struct bodies.
+        // A simple approximation: any `name :` whose following tokens up
+        // to the next `,` or `}` at the same depth mention HashMap/HashSet.
+        for i in 0..toks.len() {
+            if ctx.text(i) != "struct" {
+                continue;
+            }
+            // find `{`
+            let mut j = i + 1;
+            let mut body = None;
+            while j < toks.len() && j < i + 40 {
+                match ctx.text(j) {
+                    "{" => {
+                        body = Some((j, ctx.match_close[j]));
+                        break;
+                    }
+                    ";" | "(" => break,
+                    _ => j += 1,
+                }
+            }
+            let Some((open, close)) = body else { continue };
+            if close == usize::MAX {
+                continue;
+            }
+            let mut k = open + 1;
+            while k < close {
+                // field name followed by `:`
+                if toks[k].kind == crate::lexer::TokenKind::Ident && ctx.is(k + 1, ":") {
+                    let name = ctx.text(k).to_string();
+                    let mut m = k + 2;
+                    let mut mentions_hash = false;
+                    let mut depth = 0i32;
+                    while m < close {
+                        match ctx.text(m) {
+                            "<" => depth += 1,
+                            ">" => depth -= 1,
+                            "," if depth <= 0 => break,
+                            "HashMap" | "HashSet" => mentions_hash = true,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    if mentions_hash {
+                        fields.insert(name);
+                    }
+                    k = m;
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        fields
+    }
+
+    /// Collects local bindings / params with a hash-container type inside
+    /// one function.
+    fn hash_locals(ctx: &FileContext<'_>, f: &FnInfo) -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        let toks = &ctx.lexed.tokens;
+        // Params: split on top-level commas; a param mentioning
+        // HashMap/HashSet marks its leading identifier.
+        let (ps, pe) = f.params;
+        let mut start = ps + 1;
+        let mut depth = 0i32;
+        for j in ps + 1..pe.saturating_sub(1) {
+            let t = ctx.text(j);
+            match t {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                "," if depth == 0 => {
+                    mark_param(ctx, start, j, &mut names);
+                    start = j + 1;
+                }
+                _ => {}
+            }
+        }
+        mark_param(ctx, start, pe.saturating_sub(1), &mut names);
+        // Lets: `let [mut] NAME … ;` whose statement mentions a hash type.
+        if let Some((bs, be)) = f.body {
+            let mut i = bs + 1;
+            while i < be {
+                if ctx.text(i) == "let" {
+                    let mut j = i + 1;
+                    if ctx.is(j, "mut") {
+                        j += 1;
+                    }
+                    if j < be && toks[j].kind == crate::lexer::TokenKind::Ident {
+                        let name = ctx.text(j).to_string();
+                        // Scan to the end of the statement at brace depth 0.
+                        let mut m = j + 1;
+                        let mut mentions = false;
+                        let mut d = 0i32;
+                        while m < be {
+                            match ctx.text(m) {
+                                "(" | "[" | "{" => d += 1,
+                                ")" | "]" | "}" => d -= 1,
+                                ";" if d <= 0 => break,
+                                "HashMap" | "HashSet" => mentions = true,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        if mentions {
+                            names.insert(name);
+                        }
+                        i = m;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+        names
+    }
+}
+
+fn mark_param(ctx: &FileContext<'_>, start: usize, end: usize, names: &mut BTreeSet<String>) {
+    if start >= end {
+        return;
+    }
+    let mut mentions = false;
+    for j in start..end {
+        if matches!(ctx.text(j), "HashMap" | "HashSet") {
+            mentions = true;
+        }
+    }
+    if !mentions {
+        return;
+    }
+    // First ident before the `:` is the binding name (skip `mut`).
+    let mut j = start;
+    while j < end {
+        let t = ctx.text(j);
+        if t == "mut" {
+            j += 1;
+            continue;
+        }
+        if ctx.lexed.tokens[j].kind == crate::lexer::TokenKind::Ident && ctx.is(j + 1, ":") {
+            names.insert(t.to_string());
+        }
+        break;
+    }
+}
+
+impl Rule for DeterministicSerialization {
+    fn id(&self) -> &'static str {
+        "L004"
+    }
+    fn description(&self) -> &'static str {
+        "no default-hasher HashMap/HashSet iteration inside functions that \
+         feed an encoder/WAL frame — use BTreeMap or sort first"
+    }
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Violation> {
+        let fields = Self::hash_fields(ctx);
+        let mut out = Vec::new();
+        for f in &ctx.fns {
+            let Some((bs, be)) = f.body else { continue };
+            if ctx.in_test(ctx.lexed.tokens[bs].start) {
+                continue;
+            }
+            // Does this function call an encode sink?
+            let mut has_sink = false;
+            for i in bs..be {
+                if ENCODE_SINKS.contains(&ctx.text(i)) && ctx.is(i + 1, "(") {
+                    has_sink = true;
+                    break;
+                }
+            }
+            if !has_sink {
+                continue;
+            }
+            let locals = Self::hash_locals(ctx, f);
+            // Iteration sites: NAME.iter()/… or `for … in … NAME …`.
+            for i in bs..be {
+                let t = ctx.text(i);
+                if ORDER_LEAKING_ITERS.contains(&t)
+                    && ctx.is(i + 1, "(")
+                    && i > 0
+                    && ctx.is(i - 1, ".")
+                {
+                    // receiver: NAME or self.FIELD
+                    let recv = i.checked_sub(2).map(|r| ctx.text(r)).unwrap_or("");
+                    let is_field = i >= 4
+                        && ctx.is(i - 3, ".")
+                        && ctx.is(i - 4, "self")
+                        && fields.contains(recv);
+                    if locals.contains(recv) || is_field {
+                        out.push(ctx.violation(
+                            self.id(),
+                            i,
+                            format!(
+                                "iterating `{recv}` (std HashMap/HashSet) in a function \
+                                 that feeds an encoder: iteration order is nondeterministic, \
+                                 so on-disk bytes would differ across runs — use \
+                                 BTreeMap/BTreeSet or collect-and-sort before encoding"
+                            ),
+                        ));
+                    }
+                }
+                if t == "for" {
+                    // header: tokens between `in` and the loop `{`.
+                    let mut j = i + 1;
+                    let mut saw_in = false;
+                    while j < be {
+                        let tj = ctx.text(j);
+                        if tj == "in" {
+                            saw_in = true;
+                        } else if tj == "{" {
+                            break;
+                        } else if saw_in {
+                            let named_local = locals.contains(tj);
+                            let named_field = fields.contains(tj)
+                                && j >= 2
+                                && ctx.is(j - 1, ".")
+                                && ctx.is(j - 2, "self");
+                            // `for x in m.iter()` is already caught by the
+                            // method-call check above; don't double-report.
+                            let method_call_follows = ctx.is(j + 1, ".")
+                                && ORDER_LEAKING_ITERS.contains(&ctx.text(j + 2));
+                            if (named_local || named_field) && !method_call_follows {
+                                out.push(ctx.violation(
+                                    self.id(),
+                                    j,
+                                    format!(
+                                        "`for` loop over `{tj}` (std HashMap/HashSet) in a \
+                                         function that feeds an encoder: iteration order is \
+                                         nondeterministic, so on-disk bytes would differ across \
+                                         runs — use BTreeMap/BTreeSet or collect-and-sort first"
+                                    ),
+                                ));
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L005 — slo-guard
+// ---------------------------------------------------------------------------
+
+/// L005: public query entry points consult `slo::Deadline` before
+/// unbounded iteration (the paper's 200 ms bound, statically enforced).
+pub struct SloGuard;
+
+impl Rule for SloGuard {
+    fn id(&self) -> &'static str {
+        "L005"
+    }
+    fn description(&self) -> &'static str {
+        "every pub fn in crates/query that executes a use-case query \
+         (takes &ProvenanceBrowser and loops) must consult slo::Deadline"
+    }
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Violation> {
+        if !ctx.rel_path.starts_with("crates/query/src/") {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for f in &ctx.fns {
+            if !f.is_pub {
+                continue;
+            }
+            let Some((bs, be)) = f.body else { continue };
+            if ctx.in_test(ctx.lexed.tokens[f.fn_tok].start) {
+                continue;
+            }
+            // Use-case entry point: takes the browser.
+            let takes_browser =
+                (f.params.0..f.params.1).any(|i| ctx.text(i) == "ProvenanceBrowser");
+            if !takes_browser {
+                continue;
+            }
+            let mut loops = false;
+            let mut consults_deadline = false;
+            for i in bs..be {
+                match ctx.text(i) {
+                    "for" | "while" | "loop" => loops = true,
+                    "Deadline" => consults_deadline = true,
+                    _ => {}
+                }
+            }
+            if loops && !consults_deadline {
+                out.push(ctx.violation(
+                    self.id(),
+                    f.fn_tok,
+                    format!(
+                        "pub fn `{}` executes a query with loops but never consults \
+                         slo::Deadline; construct one from the budget and check \
+                         `expired()` before unbounded iteration (E2's 200 ms bound)",
+                        f.name
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{CheckReport, Engine};
+
+    fn check(path: &str, src: &str) -> CheckReport {
+        let mut r = CheckReport::default();
+        Engine::new().check_file(path, src, &mut r);
+        r
+    }
+
+    #[test]
+    fn l001_flags_raw_clock_outside_clock_rs() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let r = check("crates/graph/src/x.rs", src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "L001");
+        assert!(check("crates/obs/src/clock.rs", src).is_clean());
+    }
+
+    #[test]
+    fn l002_flags_only_lib_crates_and_spares_unwrap_or() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }";
+        let r = check("crates/storage/src/x.rs", src);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("unwrap"));
+        assert!(
+            check("crates/cli/src/x.rs", src).is_clean(),
+            "cli may panic"
+        );
+    }
+
+    #[test]
+    fn l003_flags_codec_casts_only() {
+        let src = "fn f(x: usize) -> u64 { x as u64 }";
+        let r = check("crates/storage/src/varint.rs", src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "L003");
+        assert!(check("crates/storage/src/store.rs", src).is_clean());
+        // float casts are not integer truncation
+        let fsrc = "fn f(x: u64) -> f64 { x as f64 }";
+        assert!(check("crates/storage/src/varint.rs", fsrc).is_clean());
+    }
+
+    #[test]
+    fn l004_flags_hash_iteration_feeding_encoder() {
+        let src = "use std::collections::HashMap;\n\
+                   fn encode_all(m: &HashMap<u32, u32>, out: &mut Vec<u8>) {\n\
+                       for (k, v) in m.iter() { write_u64(out, *k); write_u64(out, *v); }\n\
+                   }\nfn write_u64(_o: &mut Vec<u8>, _v: u32) {}\n";
+        let r = check("crates/storage/src/factorize.rs", src);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, "L004");
+    }
+
+    #[test]
+    fn l004_spares_btreemap_and_sinkless_fns() {
+        let clean = "use std::collections::BTreeMap;\n\
+                     fn encode_all(m: &BTreeMap<u32, u32>, out: &mut Vec<u8>) {\n\
+                         for (k, v) in m.iter() { write_u64(out, *k); }\n\
+                     }\nfn write_u64(_o: &mut Vec<u8>, _v: u32) {}\n";
+        assert!(check("crates/storage/src/factorize.rs", clean).is_clean());
+        let no_sink = "use std::collections::HashMap;\n\
+                       fn tally(m: &HashMap<u32, u32>) -> u32 { m.values().sum() }\n";
+        assert!(check("crates/storage/src/factorize.rs", no_sink).is_clean());
+    }
+
+    #[test]
+    fn l005_requires_deadline_in_looping_pub_query_fns() {
+        let bad = "pub fn search(b: &ProvenanceBrowser) -> u32 {\n\
+                       let mut n = 0; for _ in 0..10 { n += 1; } n\n\
+                   }\n";
+        let r = check("crates/query/src/context.rs", bad);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "L005");
+        let good = "pub fn search(b: &ProvenanceBrowser) -> u32 {\n\
+                        let d = crate::slo::Deadline::unbounded();\n\
+                        let mut n = 0; for _ in 0..10 { if d.expired() { break; } n += 1; } n\n\
+                    }\n";
+        assert!(check("crates/query/src/context.rs", good).is_clean());
+        // Non-browser helpers and private fns are exempt.
+        let helper = "pub fn rank(xs: &[u32]) -> u32 { let mut n = 0; for x in xs { n += x; } n }";
+        assert!(check("crates/query/src/context.rs", helper).is_clean());
+    }
+}

@@ -1,0 +1,133 @@
+//! Golden-output tests for bp-lint: fixture trees with known violations,
+//! exact spans, exit codes, and fix-mode rewrites.
+//!
+//! The fixtures live in `crates/lint/fixtures/` — a directory name both
+//! the checker and the fixer skip, so fixture files (which violate rules
+//! on purpose) never pollute a real workspace run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bp-lint"))
+}
+
+#[test]
+fn violations_fixture_matches_golden_spans() {
+    let report = bp_lint::check_root(&fixtures().join("violations")).unwrap();
+    let got: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    let golden = std::fs::read_to_string(fixtures().join("violations.expected")).unwrap();
+    let want: Vec<&str> = golden
+        .lines()
+        .filter(|l| !l.starts_with("bp-lint:"))
+        .collect();
+    assert_eq!(got, want);
+    // The justified directive suppresses exactly one finding, with its
+    // reason carried through to the report.
+    assert_eq!(report.suppressions.len(), 1);
+    assert_eq!(report.suppressions[0].rule, "L002");
+    assert!(
+        report.suppressions[0]
+            .reason
+            .contains("justified suppression"),
+        "{:?}",
+        report.suppressions[0].reason
+    );
+    assert_eq!(report.files, 6);
+}
+
+#[test]
+fn check_stdout_and_exit_code_on_violations() {
+    let out = bin()
+        .args(["check", "--root"])
+        .arg(fixtures().join("violations"))
+        .output()
+        .expect("run bp-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let golden = std::fs::read_to_string(fixtures().join("violations.expected")).unwrap();
+    assert_eq!(stdout, golden);
+}
+
+#[test]
+fn check_exits_zero_on_clean_tree() {
+    let out = bin()
+        .args(["check", "--root"])
+        .arg(fixtures().join("clean"))
+        .output()
+        .expect("run bp-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("bp-lint: clean — 1 files, 0 violations, 0 allowlisted"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn exit_code_two_on_usage_and_io_errors() {
+    let out = bin().args(["frobnicate"]).output().expect("run bp-lint");
+    assert_eq!(out.status.code(), Some(2), "unknown subcommand");
+    let out = bin()
+        .args(["check", "--root", "/nonexistent/bp-lint-golden"])
+        .output()
+        .expect("run bp-lint");
+    assert_eq!(out.status.code(), Some(2), "unreadable root");
+    let out = bin()
+        .args(["check", "--bogus-flag"])
+        .output()
+        .expect("run bp-lint");
+    assert_eq!(out.status.code(), Some(2), "unknown flag");
+}
+
+#[test]
+fn rules_subcommand_lists_all_five() {
+    let out = bin().args(["rules"]).output().expect("run bp-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for id in ["L001", "L002", "L003", "L004", "L005"] {
+        assert!(stdout.contains(id), "missing {id} in: {stdout}");
+    }
+}
+
+#[test]
+fn fix_mode_rewrites_elapsed_only_sites() {
+    // Copy the fixable tree into a scratch dir the fixer may mutate.
+    let scratch = std::env::temp_dir().join(format!(
+        "bp-lint-fix-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let dst = scratch.join("crates/graph/src");
+    std::fs::create_dir_all(&dst).unwrap();
+    std::fs::copy(
+        fixtures().join("fixable/crates/graph/src/timing.rs"),
+        dst.join("timing.rs"),
+    )
+    .unwrap();
+
+    let out = bin()
+        .args(["fix", "--root"])
+        .arg(&scratch)
+        .output()
+        .expect("run bp-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("applied 1 fix(es)"), "{stdout}");
+    assert!(stdout.contains("timing.rs:5: fixed:"), "{stdout}");
+
+    let fixed = std::fs::read_to_string(dst.join("timing.rs")).unwrap();
+    assert!(
+        fixed.contains("let t0 = bp_obs::clock::ClockHandle::real().start();"),
+        "{fixed}"
+    );
+    assert!(fixed.contains("t0.elapsed()"));
+    // The duration_since pair is beyond the mechanical rewrite and stays.
+    assert_eq!(fixed.matches("std::time::Instant::now()").count(), 2);
+    let _ = std::fs::remove_dir_all(&scratch);
+}

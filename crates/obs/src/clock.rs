@@ -9,7 +9,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// A monotonic microsecond source.
 pub trait Clock: Send + Sync + fmt::Debug {
@@ -108,6 +108,32 @@ impl ClockHandle {
     }
 }
 
+static MOCK_UNIX_MS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Wall-clock milliseconds since the Unix epoch.
+///
+/// This is the workspace's one sanctioned wall-clock read (everything else
+/// is monotonic and flows through [`ClockHandle`]; bp-lint's L001 enforces
+/// both). Journal entries need calendar time, which an anchored monotonic
+/// clock cannot provide. Tests can pin the value with
+/// [`set_mock_unix_time_ms`].
+pub fn unix_time_ms() -> u64 {
+    let mock = MOCK_UNIX_MS.load(Ordering::Relaxed);
+    if mock != u64::MAX {
+        return mock;
+    }
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX - 1))
+        .unwrap_or(0)
+}
+
+/// Pins (`Some`) or releases (`None`) the value [`unix_time_ms`] returns.
+/// Test-only in spirit; `u64::MAX` is reserved as the "not mocked" state.
+pub fn set_mock_unix_time_ms(ms: Option<u64>) {
+    MOCK_UNIX_MS.store(ms.unwrap_or(u64::MAX), Ordering::Relaxed);
+}
+
 /// Measures elapsed time against the [`ClockHandle`] it was started from.
 #[derive(Clone, Debug)]
 pub struct Stopwatch {
@@ -151,6 +177,14 @@ mod tests {
         mock.set_micros(1);
         // Going backwards saturates rather than underflowing.
         assert_eq!(sw.elapsed_micros(), 1);
+    }
+
+    #[test]
+    fn unix_time_can_be_pinned() {
+        set_mock_unix_time_ms(Some(1_234_567));
+        assert_eq!(unix_time_ms(), 1_234_567);
+        set_mock_unix_time_ms(None);
+        assert!(unix_time_ms() > 1_600_000_000_000, "should be real time");
     }
 
     #[test]

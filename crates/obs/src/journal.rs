@@ -9,7 +9,6 @@
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
-use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Severity of a journal event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,10 +75,7 @@ impl Journal {
 
     /// Records one event, evicting the oldest if full.
     pub fn record(&self, level: Level, message: impl Into<String>) {
-        let unix_ms = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
+        let unix_ms = crate::clock::unix_time_ms();
         let mut inner = self.inner.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;

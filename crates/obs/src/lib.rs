@@ -25,13 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod clock;
+pub mod clock;
 pub mod expo;
 mod journal;
 mod metrics;
 pub mod trace;
 
-pub use clock::{Clock, ClockHandle, MockClock, RealClock, Stopwatch};
+pub use clock::{unix_time_ms, Clock, ClockHandle, MockClock, RealClock, Stopwatch};
 pub use journal::{Journal, JournalEvent, Level};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,

@@ -7,10 +7,11 @@
 //! roots when it was outermost. [`take_roots`] drains those roots for
 //! rendering as an indented tree with per-stage timings.
 
+use crate::clock::{ClockHandle, Stopwatch};
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -75,7 +76,7 @@ fn render_children(children: &[SpanNode], parent: Duration, prefix: &str, out: &
 
 struct OpenSpan {
     name: &'static str,
-    start: Instant,
+    start: Stopwatch,
     children: Vec<SpanNode>,
 }
 
@@ -94,7 +95,7 @@ pub fn span(name: &'static str) -> SpanGuard {
     STACK.with(|stack| {
         stack.borrow_mut().push(OpenSpan {
             name,
-            start: Instant::now(),
+            start: ClockHandle::real().start(),
             children: Vec::new(),
         })
     });

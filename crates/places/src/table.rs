@@ -240,7 +240,9 @@ impl Table {
                 }
             }
         }
-        let row = self.rows.get_mut(&rowid).expect("checked above");
+        let Some(row) = self.rows.get_mut(&rowid) else {
+            return Err(TableError::NoSuchRow(rowid));
+        };
         let old_key = key_of(&row[col]);
         let new_key = key_of(&value);
         row[col] = value;

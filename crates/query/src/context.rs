@@ -79,7 +79,7 @@ pub fn contextual_history_search(
     config: &ContextualConfig,
 ) -> QueryResult {
     let span = trace::span("query.context");
-    let sw = config.clock.start();
+    let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
 
     // 1. Textual seeds.
@@ -106,8 +106,11 @@ pub fn contextual_history_search(
         std::collections::HashMap::new()
     };
 
-    // 4. Blend and collect.
+    // 4. Blend and collect, still under the deadline: the expansion
+    //    truncates itself, but the blend loop scales with the reached set,
+    //    so it too honors the bound rather than silently overrunning.
     let stage = trace::span("blend");
+    let mut truncated = expansion.truncated;
     let mut text_score: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
     for &(n, s) in &seeds {
         text_score.insert(n, s);
@@ -115,6 +118,10 @@ pub fn contextual_history_search(
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
     for (&node, &context) in expansion.weight.iter() {
+        if deadline.expired() {
+            truncated = true;
+            break;
+        }
         let Ok(n) = graph.node(node) else { continue };
         if !config.result_kinds.contains(&n.kind()) {
             continue;
@@ -148,20 +155,20 @@ pub fn contextual_history_search(
     });
     hits.truncate(config.max_results);
     drop(stage);
-    let elapsed = sw.elapsed();
+    let elapsed = deadline.elapsed();
     crate::slo::observe(
         browser.obs(),
         "context",
         "query.context.latency_us",
         elapsed,
-        config.budget.deadline(),
-        expansion.truncated,
+        deadline.budget(),
+        truncated,
     );
     span.finish_with(elapsed);
     QueryResult {
         hits,
         elapsed,
-        truncated: expansion.truncated,
+        truncated,
     }
 }
 
@@ -177,7 +184,7 @@ pub fn contextual_history_search_ppr(
     pagerank: &bp_graph::pagerank::PageRankConfig,
 ) -> QueryResult {
     let span = trace::span("query.context_ppr");
-    let sw = config.clock.start();
+    let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
     let seeds = {
         let _stage = trace::span("text_seeds");
@@ -201,7 +208,12 @@ pub fn contextual_history_search_ppr(
     }
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
+    let mut truncated = false;
     for (node, raw) in scores.score {
+        if deadline.expired() {
+            truncated = true;
+            break;
+        }
         let Ok(n) = graph.node(node) else { continue };
         if !config.result_kinds.contains(&n.kind()) {
             continue;
@@ -233,22 +245,23 @@ pub fn contextual_history_search_ppr(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
-    let elapsed = sw.elapsed();
+    let elapsed = deadline.elapsed();
     // Same use case as the expansion variant, so it samples the same
-    // latency histogram; PPR runs to a fixed point and never truncates.
+    // latency histogram; PPR runs to a fixed point, so truncation can
+    // only come from the scoring loop's deadline check above.
     crate::slo::observe(
         browser.obs(),
         "context",
         "query.context.latency_us",
         elapsed,
-        config.budget.deadline(),
-        false,
+        deadline.budget(),
+        truncated,
     );
     span.finish_with(elapsed);
     QueryResult {
         hits,
         elapsed,
-        truncated: false,
+        truncated,
     }
 }
 
@@ -260,7 +273,9 @@ pub fn textual_history_search(
     config: &ContextualConfig,
 ) -> QueryResult {
     let span = trace::span("query.textual");
-    let sw = config.clock.start();
+    // The baseline deliberately runs unbounded — it exists to show what
+    // the paper's "currently" behavior costs, budget and all.
+    let deadline = crate::slo::Deadline::unbounded(&config.clock);
     let graph = browser.graph();
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
@@ -294,15 +309,15 @@ pub fn textual_history_search(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
-    let elapsed = sw.elapsed();
+    let elapsed = deadline.elapsed();
     // A baseline, not one of the four use cases: latency sample only, no
-    // deadline classification (nothing here honors the budget).
+    // deadline classification (the unbounded deadline has no budget).
     crate::slo::observe(
         browser.obs(),
         "textual",
         "query.textual.latency_us",
         elapsed,
-        None,
+        deadline.budget(),
         false,
     );
     span.finish_with(elapsed);

@@ -10,6 +10,7 @@
 use bp_core::ProvenanceBrowser;
 use bp_graph::traverse::Budget;
 use bp_graph::{EdgeId, EdgeKind, NodeId, NodeKind};
+use bp_obs::{trace, ClockHandle};
 use std::fmt::Write as _;
 
 /// Options for [`describe_origin`].
@@ -17,8 +18,10 @@ use std::fmt::Write as _;
 pub struct DescribeConfig {
     /// Maximum hops narrated.
     pub max_steps: usize,
-    /// Traversal budget.
+    /// Traversal budget (its deadline bounds the narration walk).
     pub budget: Budget,
+    /// Time source for the reported latency (mockable in tests).
+    pub clock: ClockHandle,
 }
 
 impl Default for DescribeConfig {
@@ -26,6 +29,7 @@ impl Default for DescribeConfig {
         DescribeConfig {
             max_steps: 12,
             budget: Budget::new(),
+            clock: ClockHandle::real(),
         }
     }
 }
@@ -108,12 +112,19 @@ pub fn describe_origin(
     key: &str,
     config: &DescribeConfig,
 ) -> Option<String> {
+    let span = trace::span("query.describe");
+    let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let start = *browser.store().keys().get(key).last()?;
     let mut out = String::new();
     let _ = writeln!(out, "{}", label(browser, start));
     let mut current = start;
     let mut steps = 0;
+    let mut bounded = false;
     while steps < config.max_steps {
+        if deadline.expired() {
+            bounded = true;
+            break;
+        }
         let Some((_, parent, kind)) = narrative_parent(browser, current) else {
             break;
         };
@@ -123,9 +134,19 @@ pub fn describe_origin(
         current = parent;
         steps += 1;
     }
-    if steps == config.max_steps && narrative_parent(browser, current).is_some() {
+    if (bounded || steps == config.max_steps) && narrative_parent(browser, current).is_some() {
         let _ = writeln!(out, "  … (chain continues)");
     }
+    let elapsed = deadline.elapsed();
+    crate::slo::observe(
+        browser.obs(),
+        "describe",
+        "query.describe.latency_us",
+        elapsed,
+        deadline.budget(),
+        bounded,
+    );
+    span.finish_with(elapsed);
     Some(out)
 }
 

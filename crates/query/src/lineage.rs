@@ -68,7 +68,7 @@ pub fn first_recognizable_ancestor(
     config: &LineageConfig,
 ) -> Option<LineageAnswer> {
     let span = trace::span("query.lineage");
-    let sw = config.clock.start();
+    let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
     let found = {
         let _stage = trace::span("ancestor_bfs");
@@ -89,7 +89,7 @@ pub fn first_recognizable_ancestor(
             Some((ancestor, url, path))
         })
     };
-    let elapsed = sw.elapsed();
+    let elapsed = deadline.elapsed();
     // The BFS stops at the budget but does not report whether it did, so
     // only hit/miss is classified here — never `bounded`.
     crate::slo::observe(
@@ -97,7 +97,7 @@ pub fn first_recognizable_ancestor(
         "lineage",
         "query.lineage.latency_us",
         elapsed,
-        config.budget.deadline(),
+        deadline.budget(),
         false,
     );
     span.finish_with(elapsed);
@@ -152,7 +152,14 @@ pub fn downloads_descending_from(
     let graph = browser.graph();
     let mut out: Vec<(NodeId, String)> = Vec::new();
     let mut seen = std::collections::HashSet::new();
+    // Each inner BFS honors the budget, but a URL with many visits runs
+    // one BFS per visit — the deadline bounds the whole query, not one
+    // walk at a time.
+    let deadline = crate::slo::Deadline::start(&ClockHandle::real(), budget.deadline());
     for &start in browser.store().keys().get(url) {
+        if deadline.expired() {
+            break;
+        }
         let traversal = traverse::bfs(
             graph,
             start,

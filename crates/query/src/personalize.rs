@@ -75,11 +75,19 @@ pub fn personalize_query(
     config: &PersonalizeConfig,
 ) -> ExpandedQuery {
     let span = trace::span("query.personalize");
-    let sw = config.contextual.clock.start();
+    let deadline = crate::slo::Deadline::start(
+        &config.contextual.clock,
+        config.contextual.budget.deadline(),
+    );
     let contextual = contextual_history_search(browser, query, &config.contextual);
     let stage = trace::span("term_profile");
     let mut profile = TermProfile::new();
     for hit in &contextual.hits {
+        // The inner search spends most of the budget; the profile pass
+        // over its hits honors whatever remains.
+        if deadline.expired() {
+            break;
+        }
         let mut text = hit.key.clone();
         if let Some(title) = &hit.title {
             text.push(' ');
@@ -95,7 +103,7 @@ pub fn personalize_query(
         .map(|(t, _)| t)
         .collect();
     drop(stage);
-    let elapsed = sw.elapsed();
+    let elapsed = deadline.elapsed();
     // The inner contextual search already classified the deadline (it is
     // the stage that honors the budget); recording it again here would
     // double-count one user query in the SLO.

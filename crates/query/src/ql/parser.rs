@@ -62,7 +62,7 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+    fn expect_token(&mut self, expected: &Token) -> Result<(), ParseError> {
         match self.next() {
             Some(t) if &t == expected => Ok(()),
             Some(t) => Err(ParseError::new(format!("expected {expected}, found {t}"))),
@@ -102,13 +102,13 @@ impl Parser {
                 Ok(Selector::Id(id))
             }
             Some(Token::Ident(word)) if word == "key" || word == "url" => {
-                self.expect(&Token::Eq)?;
+                self.expect_token(&Token::Eq)?;
                 Ok(Selector::Key(self.string()?))
             }
             Some(Token::Ident(word)) if word == "latest" => {
-                self.expect(&Token::LParen)?;
+                self.expect_token(&Token::LParen)?;
                 let url = self.string()?;
-                self.expect(&Token::RParen)?;
+                self.expect_token(&Token::RParen)?;
                 Ok(Selector::LatestVisit(url))
             }
             Some(t) => Err(ParseError::new(format!("expected selector, found {t}"))),
@@ -132,7 +132,7 @@ impl Parser {
         let field = self.ident()?;
         match field.as_str() {
             "type" => {
-                self.expect(&Token::Eq)?;
+                self.expect_token(&Token::Eq)?;
                 let name = self.ident()?;
                 let kind = NodeKind::from_label(&name)
                     .ok_or_else(|| ParseError::new(format!("unknown node type {name}")))?;
@@ -154,7 +154,7 @@ impl Parser {
                 Ok(Filter::Visits(cmp, n))
             }
             "depth" => {
-                self.expect(&Token::Le)?;
+                self.expect_token(&Token::Le)?;
                 let n = self.number()? as usize;
                 Ok(Filter::DepthLe(n))
             }
@@ -166,9 +166,9 @@ impl Parser {
         let verb = self.ident()?;
         let shape = match verb.as_str() {
             "ancestors" | "descendants" | "overlapping" => {
-                self.expect(&Token::LParen)?;
+                self.expect_token(&Token::LParen)?;
                 let sel = self.selector()?;
-                self.expect(&Token::RParen)?;
+                self.expect_token(&Token::RParen)?;
                 match verb.as_str() {
                     "ancestors" => Shape::Ancestors(sel),
                     "descendants" => Shape::Descendants(sel),
@@ -176,11 +176,11 @@ impl Parser {
                 }
             }
             "path" => {
-                self.expect(&Token::LParen)?;
+                self.expect_token(&Token::LParen)?;
                 let a = self.selector()?;
-                self.expect(&Token::Comma)?;
+                self.expect_token(&Token::Comma)?;
                 let b = self.selector()?;
-                self.expect(&Token::RParen)?;
+                self.expect_token(&Token::RParen)?;
                 Shape::Path(a, b)
             }
             "nodes" => Shape::Nodes,

@@ -6,8 +6,55 @@
 //! latency sample here, and deadline-bounded runs are classified as they
 //! happen, readable from `browserprov stats --metrics`.
 
+use bp_obs::clock::{ClockHandle, Stopwatch};
 use bp_obs::{Level, Obs};
 use std::time::Duration;
+
+/// A live query deadline: a running stopwatch measured against the use
+/// case's optional time budget (the paper's 200 ms interactive bound).
+///
+/// Every public query entry point constructs one at entry and consults
+/// [`Deadline::expired`] before unbounded iteration, so a query that
+/// overruns degrades to a partial answer instead of blocking the UI —
+/// bp-lint's L005 enforces the pattern statically.
+#[derive(Debug, Clone)]
+pub(crate) struct Deadline {
+    sw: Stopwatch,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// Starts the clock against `budget` (`None` never expires).
+    pub(crate) fn start(clock: &ClockHandle, budget: Option<Duration>) -> Self {
+        Deadline {
+            sw: clock.start(),
+            budget,
+        }
+    }
+
+    /// Starts the clock with no budget: latency is still measured, and
+    /// [`Deadline::expired`] is always `false`. The explicit marker for
+    /// entry points that intentionally run unbounded (textual baselines),
+    /// keeping the "I considered the deadline" decision auditable.
+    pub(crate) fn unbounded(clock: &ClockHandle) -> Self {
+        Deadline::start(clock, None)
+    }
+
+    /// `true` once elapsed time exceeds the budget.
+    pub(crate) fn expired(&self) -> bool {
+        self.budget.is_some_and(|b| self.sw.elapsed() > b)
+    }
+
+    /// Elapsed time since the query started.
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.sw.elapsed()
+    }
+
+    /// The budget this deadline enforces, for SLO classification.
+    pub(crate) fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+}
 
 /// Records a finished use-case query.
 ///
@@ -39,5 +86,33 @@ pub(crate) fn observe(
             Level::Warn,
             format!("query.{use_case} exceeded its {deadline:?} deadline (took {elapsed:?})"),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expires_only_past_its_budget() {
+        let (clock, mock) = ClockHandle::mock();
+        let d = Deadline::start(&clock, Some(Duration::from_millis(10)));
+        assert!(!d.expired());
+        mock.advance(Duration::from_millis(10));
+        assert!(!d.expired(), "exactly on budget is a hit, not a miss");
+        mock.advance(Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.elapsed(), Duration::from_millis(11));
+        assert_eq!(d.budget(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let (clock, mock) = ClockHandle::mock();
+        let d = Deadline::unbounded(&clock);
+        mock.advance(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert_eq!(d.budget(), None);
+        assert_eq!(d.elapsed(), Duration::from_secs(3600));
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::result::{QueryResult, ScoredHit};
 use bp_core::ProvenanceBrowser;
+use bp_graph::traverse::Budget;
 use bp_graph::{EdgeKind, NodeId, NodeKind, TimeInterval};
 use bp_obs::{trace, ClockHandle};
 use std::collections::HashSet;
@@ -29,6 +30,9 @@ pub struct TimeContextConfig {
     /// Weight multiplier when the association is an explicit
     /// temporal-overlap edge rather than interval arithmetic.
     pub edge_bonus: f64,
+    /// Query budget — its deadline bounds the association scan (the
+    /// paper's interactive-latency envelope).
+    pub budget: Budget,
     /// Time source for the reported latency (mockable in tests).
     pub clock: ClockHandle,
 }
@@ -40,6 +44,7 @@ impl Default for TimeContextConfig {
             max_results: 25,
             result_kinds: vec![NodeKind::PageVisit, NodeKind::Download],
             edge_bonus: 1.5,
+            budget: Budget::new(),
             clock: ClockHandle::real(),
         }
     }
@@ -54,7 +59,7 @@ pub fn time_contextual_search(
     config: &TimeContextConfig,
 ) -> QueryResult {
     let span = trace::span("query.timectx");
-    let sw = config.clock.start();
+    let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
 
     let stage = trace::span("text_search");
@@ -67,13 +72,13 @@ pub fn time_contextual_search(
         .collect();
     drop(stage);
     if companion_nodes.is_empty() || subject_hits.is_empty() {
-        let elapsed = sw.elapsed();
+        let elapsed = deadline.elapsed();
         crate::slo::observe(
             browser.obs(),
             "timectx",
             "query.timectx.latency_us",
             elapsed,
-            None,
+            deadline.budget(),
             false,
         );
         span.finish_with(elapsed);
@@ -91,7 +96,14 @@ pub fn time_contextual_search(
 
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
+    let mut truncated = false;
     for (doc, text_score) in subject_hits {
+        // The interval/edge check per subject hit is the expensive part;
+        // degrade to a partial answer when the budget runs out.
+        if deadline.expired() {
+            truncated = true;
+            break;
+        }
         let node = NodeId::new(doc);
         let Ok(n) = graph.node(node) else { continue };
         if !config.result_kinds.contains(&n.kind()) {
@@ -138,20 +150,20 @@ pub fn time_contextual_search(
     });
     hits.truncate(config.max_results);
     drop(stage);
-    let elapsed = sw.elapsed();
+    let elapsed = deadline.elapsed();
     crate::slo::observe(
         browser.obs(),
         "timectx",
         "query.timectx.latency_us",
         elapsed,
-        None,
-        false,
+        deadline.budget(),
+        truncated,
     );
     span.finish_with(elapsed);
     QueryResult {
         hits,
         elapsed,
-        truncated: false,
+        truncated,
     }
 }
 

@@ -13,8 +13,8 @@ fn table() -> &'static [u32; 256] {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
-            let mut crc = i as u32;
+        for b in 0u8..=255 {
+            let mut crc = u32::from(b);
             for _ in 0..8 {
                 crc = if crc & 1 != 0 {
                     (crc >> 1) ^ POLY
@@ -22,7 +22,7 @@ fn table() -> &'static [u32; 256] {
                     crc >> 1
                 };
             }
-            *entry = crc;
+            t[usize::from(b)] = crc;
         }
         t
     })
@@ -41,7 +41,9 @@ pub fn crc32c(data: &[u8]) -> u32 {
     let t = table();
     let mut crc = !0u32;
     for &byte in data {
-        crc = (crc >> 8) ^ t[((crc ^ u32::from(byte)) & 0xff) as usize];
+        // (crc ^ byte) & 0xff is exactly the low byte of crc xor'd with
+        // the input byte; indexing via u8 keeps the codec cast-free.
+        crc = (crc >> 8) ^ t[usize::from(crc.to_le_bytes()[0] ^ byte)];
     }
     !crc
 }

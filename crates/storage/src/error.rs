@@ -26,6 +26,16 @@ pub enum StorageError {
     /// can only contain operations that were legal when appended, so this
     /// indicates corruption or version skew.
     Replay(String),
+    /// A WAL payload exceeded the maximum frame size. Writing it anyway
+    /// would either truncate the length field or produce a frame recovery
+    /// treats as a torn tail — losing every frame after it — so the append
+    /// is rejected up front.
+    FrameTooLarge {
+        /// The oversized payload's length in bytes.
+        len: u64,
+        /// The maximum payload size a frame may carry.
+        max: u32,
+    },
 }
 
 impl StorageError {
@@ -49,6 +59,9 @@ impl fmt::Display for StorageError {
                 write!(f, "unknown interned string id {id}")
             }
             StorageError::Replay(msg) => write!(f, "replay rejected: {msg}"),
+            StorageError::FrameTooLarge { len, max } => {
+                write!(f, "wal payload of {len} bytes exceeds max frame size {max}")
+            }
         }
     }
 }

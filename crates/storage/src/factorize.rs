@@ -74,7 +74,7 @@ pub fn factorize(graph: &ProvenanceGraph) -> FactorizedEdges {
         let mut kinds = Vec::with_capacity(out.len());
         let mut deltas = Vec::with_capacity(out.len());
         for &eid in out {
-            let e = graph.edge(eid).expect("live edge");
+            let Ok(e) = graph.edge(eid) else { continue };
             kinds.push(e.kind().code());
             deltas.push(i64::from(src.index()) - i64::from(e.dst().index()));
             edge_count += 1;

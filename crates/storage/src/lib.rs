@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cast;
 mod crc;
 mod error;
 mod factorize;

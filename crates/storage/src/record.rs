@@ -7,6 +7,7 @@
 //! state), since history events are nearly sorted in time and deltas
 //! compress far better than absolute microsecond counts.
 
+use crate::cast::{offset_u64, usize_from_u64};
 use crate::error::{StorageError, StorageResult};
 use crate::varint;
 use bp_graph::{AttrValue, EdgeKind, NodeId, NodeKind, Timestamp, Version};
@@ -167,7 +168,7 @@ impl Codec {
     /// Returns [`StorageError::Corrupt`] on truncation, unknown tags, or
     /// malformed payloads.
     pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> StorageResult<Op> {
-        let at = *pos as u64;
+        let at = offset_u64(*pos);
         let tag = *buf
             .get(*pos)
             .ok_or_else(|| StorageError::corrupt(at, "missing op tag"))?;
@@ -246,13 +247,13 @@ impl Codec {
 fn read_byte(buf: &[u8], pos: &mut usize) -> StorageResult<u8> {
     let b = *buf
         .get(*pos)
-        .ok_or_else(|| StorageError::corrupt(*pos as u64, "truncated byte"))?;
+        .ok_or_else(|| StorageError::corrupt(offset_u64(*pos), "truncated byte"))?;
     *pos += 1;
     Ok(b)
 }
 
 fn write_attrs(out: &mut Vec<u8>, attrs: &[(u32, AttrValue)]) {
-    varint::write_u64(out, attrs.len() as u64);
+    varint::write_u64(out, offset_u64(attrs.len()));
     for (key, value) in attrs {
         varint::write_u64(out, u64::from(*key));
         write_attr_value(out, value);
@@ -260,14 +261,10 @@ fn write_attrs(out: &mut Vec<u8>, attrs: &[(u32, AttrValue)]) {
 }
 
 fn read_attrs(buf: &[u8], pos: &mut usize) -> StorageResult<Vec<(u32, AttrValue)>> {
-    let count = varint::read_u64(buf, pos)? as usize;
     // Guard against absurd counts from corrupt data before allocating.
-    if count > buf.len().saturating_sub(*pos) {
-        return Err(StorageError::corrupt(
-            *pos as u64,
-            "attr count exceeds buffer",
-        ));
-    }
+    let count = usize_from_u64(varint::read_u64(buf, pos)?)
+        .filter(|&c| c <= buf.len().saturating_sub(*pos))
+        .ok_or_else(|| StorageError::corrupt(offset_u64(*pos), "attr count exceeds buffer"))?;
     let mut attrs = Vec::with_capacity(count);
     for _ in 0..count {
         let key = varint::read_u32(buf, pos)?;
@@ -301,7 +298,7 @@ fn write_attr_value(out: &mut Vec<u8>, value: &AttrValue) {
 }
 
 fn read_attr_value(buf: &[u8], pos: &mut usize) -> StorageResult<AttrValue> {
-    let at = *pos as u64;
+    let at = offset_u64(*pos);
     let tag = read_byte(buf, pos)?;
     match tag {
         ATTR_STR => Ok(AttrValue::Str(varint::read_str(buf, pos)?.to_owned())),

@@ -229,7 +229,9 @@ impl ProvenanceStore {
     /// live mutation and replay).
     fn apply_structural(&mut self, op: &Op) -> StorageResult<Option<NodeId>> {
         match op {
-            Op::DefineString { .. } => unreachable!("handled by replay"),
+            Op::DefineString { .. } => Err(StorageError::Replay(
+                "DefineString reached the structural apply path".to_owned(),
+            )),
             Op::AddNode {
                 kind,
                 key,
@@ -428,9 +430,8 @@ impl ProvenanceStore {
             open_at: at,
             attrs: encoded_attrs,
         };
-        Ok(self
-            .commit(op, batch)?
-            .expect("AddNode always yields an id"))
+        self.commit(op, batch)?
+            .ok_or_else(|| StorageError::Replay("AddNode commit yielded no node id".to_owned()))
     }
 
     /// Adds a page-visit instance of `url`, automatically versioned and

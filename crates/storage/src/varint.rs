@@ -6,12 +6,13 @@
 //! time), and string ids come from the interner. Varints keep E1's overhead
 //! figure honest.
 
+use crate::cast::{offset_u64, usize_from_u64};
 use crate::error::{StorageError, StorageResult};
 
 /// Appends `value` to `out` as an unsigned LEB128 varint (1–10 bytes).
 pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
     loop {
-        let byte = (value & 0x7f) as u8;
+        let byte = value.to_le_bytes()[0] & 0x7f;
         value >>= 7;
         if value == 0 {
             out.push(byte);
@@ -40,10 +41,13 @@ pub fn read_u64(buf: &[u8], pos: &mut usize) -> StorageResult<u64> {
     loop {
         let byte = *buf
             .get(*pos)
-            .ok_or_else(|| StorageError::corrupt(*pos as u64, "truncated varint"))?;
+            .ok_or_else(|| StorageError::corrupt(offset_u64(*pos), "truncated varint"))?;
         *pos += 1;
         if shift == 63 && byte > 1 {
-            return Err(StorageError::corrupt(*pos as u64, "varint overflows u64"));
+            return Err(StorageError::corrupt(
+                offset_u64(*pos),
+                "varint overflows u64",
+            ));
         }
         result |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -51,7 +55,7 @@ pub fn read_u64(buf: &[u8], pos: &mut usize) -> StorageResult<u64> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(StorageError::corrupt(*pos as u64, "varint too long"));
+            return Err(StorageError::corrupt(offset_u64(*pos), "varint too long"));
         }
     }
 }
@@ -72,12 +76,12 @@ pub fn read_i64(buf: &[u8], pos: &mut usize) -> StorageResult<i64> {
 /// Adds a range check on top of [`read_u64`].
 pub fn read_u32(buf: &[u8], pos: &mut usize) -> StorageResult<u32> {
     let v = read_u64(buf, pos)?;
-    u32::try_from(v).map_err(|_| StorageError::corrupt(*pos as u64, "varint exceeds u32"))
+    u32::try_from(v).map_err(|_| StorageError::corrupt(offset_u64(*pos), "varint exceeds u32"))
 }
 
 /// Appends a length-prefixed byte string.
 pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    write_u64(out, bytes.len() as u64);
+    write_u64(out, offset_u64(bytes.len()));
     out.extend_from_slice(bytes);
 }
 
@@ -87,11 +91,13 @@ pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 ///
 /// Returns [`StorageError::Corrupt`] on truncation.
 pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> StorageResult<&'a [u8]> {
-    let len = read_u64(buf, pos)? as usize;
+    let len = usize_from_u64(read_u64(buf, pos)?).ok_or_else(|| {
+        StorageError::corrupt(offset_u64(*pos), "byte-string length exceeds address space")
+    })?;
     let end = pos
         .checked_add(len)
         .filter(|&e| e <= buf.len())
-        .ok_or_else(|| StorageError::corrupt(*pos as u64, "truncated byte string"))?;
+        .ok_or_else(|| StorageError::corrupt(offset_u64(*pos), "truncated byte string"))?;
     let slice = &buf[*pos..end];
     *pos = end;
     Ok(slice)
@@ -108,19 +114,23 @@ pub fn write_str(out: &mut Vec<u8>, s: &str) {
 ///
 /// Returns [`StorageError::Corrupt`] on truncation or invalid UTF-8.
 pub fn read_str<'a>(buf: &'a [u8], pos: &mut usize) -> StorageResult<&'a str> {
-    let at = *pos as u64;
+    let at = offset_u64(*pos);
     std::str::from_utf8(read_bytes(buf, pos)?)
         .map_err(|_| StorageError::corrupt(at, "invalid utf-8 in string"))
 }
 
 #[inline]
 fn zigzag_encode(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
+    // Bit-exact reinterpretation via the byte representation keeps the
+    // codec free of `as` casts (L003) at zero cost.
+    u64::from_ne_bytes(((v << 1) ^ (v >> 63)).to_ne_bytes())
 }
 
 #[inline]
 fn zigzag_decode(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
+    let half = i64::from_ne_bytes((v >> 1).to_ne_bytes());
+    let sign = i64::from_ne_bytes((v & 1).to_ne_bytes());
+    half ^ -sign
 }
 
 #[cfg(test)]

@@ -7,10 +7,9 @@
 //! browser crashed mid-write) loses at most the final uncommitted record,
 //! never earlier history.
 
+use crate::cast::{offset_u64, usize_from_u64};
 use crate::crc::crc32c;
-#[allow(unused_imports)] // referenced by rustdoc links
-use crate::error::StorageError;
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -121,19 +120,24 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// Returns [`StorageError::Io`] on write failure; the in-memory clean
-    /// length only advances after a successful write (and sync, under
+    /// Returns [`StorageError::FrameTooLarge`] for payloads over
+    /// [`MAX_FRAME`] bytes — the length field would wrap (or the frame
+    /// would read back as a torn tail, discarding every frame after it),
+    /// so the append is refused before any byte reaches the file. Returns
+    /// [`StorageError::Io`] on write failure; the in-memory clean length
+    /// only advances after a successful write (and sync, under
     /// [`SyncPolicy::Always`]).
     pub fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
+        let len = frame_payload_len(payload.len())?;
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32c(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         self.file.write_all(&frame)?;
         if self.policy == SyncPolicy::Always {
             self.file.sync_data()?;
         }
-        self.clean_len += frame.len() as u64;
+        self.clean_len += offset_u64(frame.len());
         Ok(())
     }
 
@@ -174,6 +178,28 @@ impl Wal {
     }
 }
 
+/// Validates a payload length for encoding into a frame header.
+///
+/// Factored out of [`Wal::append`] so the boundary can be tested without
+/// materializing multi-gigabyte payloads.
+///
+/// # Errors
+///
+/// Returns [`StorageError::FrameTooLarge`] when `payload_len` exceeds
+/// [`MAX_FRAME`]. Before this check existed, a payload of exactly
+/// `u32::MAX + 1` bytes encoded a length field of 0 — the frame's own
+/// payload would be replayed as empty and every byte after the header
+/// misparsed as garbage frames.
+fn frame_payload_len(payload_len: usize) -> StorageResult<u32> {
+    match u32::try_from(payload_len) {
+        Ok(len) if len <= MAX_FRAME => Ok(len),
+        _ => Err(StorageError::FrameTooLarge {
+            len: offset_u64(payload_len),
+            max: MAX_FRAME,
+        }),
+    }
+}
+
 fn scan(file: &mut File) -> StorageResult<WalContents> {
     file.seek(SeekFrom::Start(0))?;
     let mut data = Vec::new();
@@ -187,14 +213,27 @@ fn scan(file: &mut File) -> StorageResult<WalContents> {
             torn_tail = true;
             break;
         }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let (Ok(len_bytes), Ok(crc_bytes)) = (
+            <[u8; 4]>::try_from(&data[pos..pos + 4]),
+            <[u8; 4]>::try_from(&data[pos + 4..pos + 8]),
+        ) else {
+            // Unreachable: the header-length check above guarantees both
+            // slices are exactly four bytes. Treated as a torn tail rather
+            // than a panic path (L002).
+            torn_tail = true;
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes);
+        let crc = u32::from_le_bytes(crc_bytes);
         if len > MAX_FRAME {
             torn_tail = true;
             break;
         }
         let start = pos + FRAME_HEADER;
-        let end = start + len as usize;
+        let Some(end) = usize_from_u64(u64::from(len)).and_then(|l| start.checked_add(l)) else {
+            torn_tail = true;
+            break;
+        };
         if end > data.len() {
             torn_tail = true;
             break;
@@ -206,7 +245,7 @@ fn scan(file: &mut File) -> StorageResult<WalContents> {
         }
         frames.push(payload.to_vec());
         pos = end;
-        clean_len = end as u64;
+        clean_len = offset_u64(end);
     }
     Ok(WalContents {
         frames,
@@ -346,6 +385,49 @@ mod tests {
         wal.append(b"12345").unwrap();
         assert_eq!(wal.len_bytes(), 8 + 5);
         wal.sync().unwrap();
+    }
+
+    #[test]
+    fn payload_lengths_around_u32_max_are_rejected_not_truncated() {
+        // Regression: `payload.len() as u32` silently truncated the length
+        // field, so a payload of u32::MAX + 1 bytes wrote a header claiming
+        // length 0. Checked without allocating 4 GiB.
+        assert!(matches!(
+            frame_payload_len(u64::MAX as usize),
+            Err(StorageError::FrameTooLarge { .. })
+        ));
+        let wrap = usize::try_from(u64::from(u32::MAX) + 1).unwrap();
+        assert!(matches!(
+            frame_payload_len(wrap),
+            Err(StorageError::FrameTooLarge { len, max: MAX_FRAME })
+                if len == u64::from(u32::MAX) + 1
+        ));
+        // Boundary: exactly MAX_FRAME is allowed, one more is not.
+        let max = usize::try_from(MAX_FRAME).unwrap();
+        assert_eq!(frame_payload_len(max).unwrap(), MAX_FRAME);
+        assert!(frame_payload_len(max + 1).is_err());
+        assert_eq!(frame_payload_len(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn oversized_append_is_refused_and_log_stays_intact() {
+        let dir = TempDir::new("oversize");
+        let mut wal = Wal::open(dir.file("a.wal"), SyncPolicy::Always).unwrap();
+        wal.append(b"before").unwrap();
+        let len_before = wal.len_bytes();
+        let huge = vec![0u8; usize::try_from(MAX_FRAME).unwrap() + 1];
+        assert!(matches!(
+            wal.append(&huge),
+            Err(StorageError::FrameTooLarge { .. })
+        ));
+        // Nothing was written: committed length unchanged, replay clean.
+        assert_eq!(wal.len_bytes(), len_before);
+        let contents = wal.read_all().unwrap();
+        assert_eq!(contents.frames, vec![b"before".to_vec()]);
+        assert!(!contents.torn_tail);
+        // And the log still accepts normal appends afterwards.
+        wal.append(b"after").unwrap();
+        assert_eq!(wal.read_all().unwrap().frames.len(), 2);
     }
 
     #[test]

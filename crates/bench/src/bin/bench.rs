@@ -1,0 +1,338 @@
+//! Continuous benchmark harness.
+//!
+//! Runs the standard simulated history through ingest and all seven query
+//! paths, summarizes latencies from bp-obs log₂ histograms, and writes the
+//! schema-versioned `BENCH_<git-short-sha>.json` + `BENCH_latest.json`.
+//!
+//! ```text
+//! cargo run -p bp-bench --release --bin bench                    # paper scale (79 days)
+//! cargo run -p bp-bench --release --bin bench -- --days 7        # CI quick run
+//! cargo run -p bp-bench --release --bin bench -- --days 7 \
+//!     --compare BENCH_baseline.json --threshold 20               # regression gate
+//! ```
+//!
+//! `--compare` exits nonzero when any path's p95 grew past the threshold
+//! (default 20%) and the `--floor-us` noise floor.
+
+use bp_bench::fixtures::{history, TempProfile};
+use bp_bench::relschema::RelationalProvenance;
+use bp_bench::report::{compare, median_us, BenchReport, LatencySummary, StoreSizes};
+use bp_core::{CaptureConfig, ProvenanceBrowser};
+use bp_obs::profile::Profile;
+use bp_obs::{profile, ClockHandle, Obs};
+use bp_places::{PlacesDb, PlacesIngester};
+use bp_query::{
+    contextual_history_search, contextual_history_search_ppr, describe_origin, find_download,
+    first_recognizable_ancestor, personalize_query, textual_history_search, time_contextual_search,
+    ContextualConfig, DescribeConfig, LineageConfig, PersonalizeConfig, TimeContextConfig,
+};
+use bp_sim::web::TOPICS;
+use bp_storage::SyncPolicy;
+use std::collections::BTreeMap;
+
+struct Options {
+    days: u32,
+    runs: u64,
+    out_dir: String,
+    compare_with: Option<String>,
+    threshold_pct: f64,
+    floor_us: u64,
+}
+
+fn parse_options(raw: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        days: 79,
+        runs: 40,
+        out_dir: ".".to_owned(),
+        compare_with: None,
+        threshold_pct: 20.0,
+        floor_us: 0,
+    };
+    let mut i = 0;
+    while i < raw.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            raw.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", raw[i]))
+        };
+        match raw[i].as_str() {
+            "--days" => {
+                opts.days = value(i)?.parse().map_err(|_| "--days must be a number")?;
+                i += 2;
+            }
+            "--runs" => {
+                opts.runs = value(i)?.parse().map_err(|_| "--runs must be a number")?;
+                i += 2;
+            }
+            "--out-dir" => {
+                opts.out_dir = value(i)?.clone();
+                i += 2;
+            }
+            "--compare" => {
+                opts.compare_with = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--threshold" => {
+                opts.threshold_pct = value(i)?
+                    .parse()
+                    .map_err(|_| "--threshold must be a number")?;
+                i += 2;
+            }
+            "--floor-us" => {
+                opts.floor_us = value(i)?
+                    .parse()
+                    .map_err(|_| "--floor-us must be a number")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "nogit".to_owned())
+}
+
+/// Accumulates `path.stage` wall-time samples from a profile tree.
+fn collect_stages(p: &Profile, into: &mut BTreeMap<String, Vec<u64>>) {
+    for s in &p.stages {
+        into.entry(format!("{}.{}", p.query, s.name))
+            .or_default()
+            .push(s.wall_us);
+    }
+    for child in &p.children {
+        collect_stages(child, into);
+    }
+}
+
+fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
+    let obs = Obs::isolated();
+    let clock = ClockHandle::real();
+    eprintln!("bench: generating {}-day history...", opts.days);
+    let h = history(opts.days);
+
+    // Ingest, one latency sample per event.
+    let dir = TempProfile::new(&format!("bench-{}", opts.days));
+    let mut browser = ProvenanceBrowser::open_with_obs(
+        dir.path(),
+        CaptureConfig::default(),
+        SyncPolicy::OsManaged,
+        obs.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let ingest_hist = obs.histogram("bench.ingest.latency_us");
+    for event in &h.events {
+        let t0 = clock.start();
+        browser.ingest(event).map_err(|e| e.to_string())?;
+        ingest_hist.record_duration(t0.elapsed());
+    }
+    eprintln!(
+        "bench: ingested {} events ({} nodes, {} edges)",
+        h.events.len(),
+        browser.graph().node_count(),
+        browser.graph().edge_count()
+    );
+
+    // Workload inputs drawn from the simulator's topic vocabularies and
+    // the captured downloads, cycled to fill the per-path run count.
+    let terms: Vec<&str> = TOPICS
+        .iter()
+        .flat_map(|t| t.vocabulary.iter().copied())
+        .collect();
+    let downloads: Vec<(bp_graph::NodeId, String)> = browser
+        .graph()
+        .nodes_of_kind(bp_graph::NodeKind::Download)
+        .filter_map(|n| {
+            browser
+                .graph()
+                .node(n)
+                .ok()
+                .map(|node| (n, node.key().to_owned()))
+        })
+        .collect();
+    if terms.is_empty() || downloads.is_empty() {
+        return Err("history produced no query inputs".to_owned());
+    }
+
+    // All seven query paths, profiled: latency samples feed bp-obs log₂
+    // histograms, per-stage walls feed the stage medians.
+    profile::set_enabled(true);
+    let _ = profile::take();
+    let mut stage_samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let contextual = ContextualConfig::default();
+    let runs = opts.runs as usize;
+    for run in 0..runs {
+        let term = terms[run % terms.len()];
+        let pair = (term, terms[(run + 7) % terms.len()]);
+        let (dl, dl_key) = &downloads[run % downloads.len()];
+        let t = |name: &str, elapsed: std::time::Duration| {
+            obs.histogram(&format!("bench.query.{name}.latency_us"))
+                .record_duration(elapsed);
+        };
+        t(
+            "context",
+            contextual_history_search(&browser, term, &contextual).elapsed,
+        );
+        t(
+            "ppr",
+            contextual_history_search_ppr(
+                &browser,
+                term,
+                &contextual,
+                &bp_graph::pagerank::PageRankConfig::default(),
+            )
+            .elapsed,
+        );
+        t(
+            "textual",
+            textual_history_search(&browser, term, &contextual).elapsed,
+        );
+        let t0 = clock.start();
+        let _ = personalize_query(&browser, term, &PersonalizeConfig::default());
+        t("personalize", t0.elapsed());
+        t(
+            "timectx",
+            time_contextual_search(&browser, pair.0, pair.1, &TimeContextConfig::default()).elapsed,
+        );
+        let t0 = clock.start();
+        let _ = first_recognizable_ancestor(&browser, *dl, &LineageConfig::default());
+        t("lineage", t0.elapsed());
+        let t0 = clock.start();
+        let _ = describe_origin(&browser, dl_key, &DescribeConfig::default());
+        t("describe", t0.elapsed());
+        // find_download keeps the lineage entry point honest (and cheap).
+        let _ = find_download(&browser, dl_key);
+        for p in profile::take() {
+            collect_stages(&p, &mut stage_samples);
+        }
+    }
+    profile::set_enabled(false);
+    eprintln!("bench: ran {} invocations per query path", opts.runs);
+
+    // Store sizes after compaction.
+    browser.snapshot().map_err(|e| e.to_string())?;
+    let size = browser.size_report();
+    let sizes = StoreSizes {
+        events: h.events.len() as u64,
+        nodes: browser.graph().node_count() as u64,
+        edges: browser.graph().edge_count() as u64,
+        snapshot_bytes: size.snapshot_bytes,
+        log_bytes: size.log_bytes,
+    };
+
+    // The E1 headline: relational provenance bytes over the Places
+    // baseline for the same event stream (paper: 1.395).
+    let mut places = PlacesDb::new();
+    let mut ingester = PlacesIngester::new();
+    ingester
+        .ingest_all(&mut places, &h.events)
+        .map_err(|e| format!("{e:?}"))?;
+    let places_bytes = places.encoded_size().max(1);
+    let rel_bytes = RelationalProvenance::from_graph(browser.graph()).encoded_size();
+    let e1_overhead_ratio = rel_bytes as f64 / places_bytes as f64;
+
+    let snapshot = obs.registry().snapshot();
+    let latency = |name: &str| {
+        snapshot
+            .histograms
+            .get(name)
+            .map(LatencySummary::from_histogram)
+            .unwrap_or_default()
+    };
+    let mut queries = BTreeMap::new();
+    for path in [
+        "context",
+        "ppr",
+        "textual",
+        "personalize",
+        "timectx",
+        "lineage",
+        "describe",
+    ] {
+        queries.insert(
+            path.to_owned(),
+            latency(&format!("bench.query.{path}.latency_us")),
+        );
+    }
+    let stage_medians_us = stage_samples
+        .into_iter()
+        .map(|(name, mut samples)| (name, median_us(&mut samples)))
+        .collect();
+
+    Ok(BenchReport {
+        git_sha: git_short_sha(),
+        days: opts.days,
+        runs_per_path: opts.runs,
+        sizes,
+        e1_overhead_ratio,
+        ingest: latency("bench.ingest.latency_us"),
+        queries,
+        stage_medians_us,
+    })
+}
+
+fn run(raw: &[String]) -> Result<bool, String> {
+    let opts = parse_options(raw)?;
+    let report = run_benchmark(&opts)?;
+    let text = report.to_json();
+    std::fs::create_dir_all(&opts.out_dir).map_err(|e| e.to_string())?;
+    for name in [
+        format!("BENCH_{}.json", report.git_sha),
+        "BENCH_latest.json".to_owned(),
+    ] {
+        let path = std::path::Path::new(&opts.out_dir).join(name);
+        std::fs::write(&path, &text).map_err(|e| e.to_string())?;
+        eprintln!("bench: wrote {}", path.display());
+    }
+    for (path, q) in &report.queries {
+        eprintln!(
+            "bench: {path:<12} p50={}us p95={}us p99={}us (n={})",
+            q.p50_us, q.p95_us, q.p99_us, q.count
+        );
+    }
+    let Some(baseline_path) = &opts.compare_with else {
+        return Ok(true);
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = BenchReport::from_json(&baseline_text)
+        .map_err(|e| format!("baseline {baseline_path}: {e}"))?;
+    let regressions = compare(&baseline, &report, opts.threshold_pct, opts.floor_us);
+    if regressions.is_empty() {
+        eprintln!(
+            "bench: no p95 regressions vs {baseline_path} (threshold {:.0}%, floor {}us)",
+            opts.threshold_pct, opts.floor_us
+        );
+        return Ok(true);
+    }
+    eprintln!(
+        "bench: {} p95 regression(s) vs {baseline_path} (threshold {:.0}%, floor {}us):",
+        regressions.len(),
+        opts.threshold_pct,
+        opts.floor_us
+    );
+    for r in &regressions {
+        eprintln!("bench:   {r}");
+    }
+    Ok(false)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(message) => {
+            eprintln!("bench: error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

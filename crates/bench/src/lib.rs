@@ -11,3 +11,4 @@
 pub mod experiments;
 pub mod fixtures;
 pub mod relschema;
+pub mod report;

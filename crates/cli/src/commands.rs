@@ -8,7 +8,7 @@ use bp_core::{eventlog, CaptureConfig, ProvenanceBrowser};
 use bp_graph::dot::{to_dot, DotOptions};
 use bp_graph::stats::stats;
 use bp_graph::traverse::Budget;
-use bp_obs::{expo, trace, Obs};
+use bp_obs::{expo, profile, trace, Obs};
 use bp_query::{
     contextual_history_search, downloads_descending_from, find_download,
     first_recognizable_ancestor, personalize_query, textual_history_search, time_contextual_search,
@@ -36,7 +36,11 @@ USAGE:
   browserprov lineage   --profile DIR FILEPATH         first recognizable ancestor of a download
   browserprov whence    --profile DIR KEY              narrate how an object came to be
   browserprov downloads-from --profile DIR URL         downloads descending from a page
-  browserprov query     --profile DIR QUERYSTRING      run a path query (see docs)
+  browserprov query     --profile DIR SUB ARGS...      run one use-case query path
+                                                       (SUB: context|ppr|textual|personalize|
+                                                       timectx|lineage|describe; timectx takes
+                                                       SUBJECT --with COMPANION); any other
+                                                       first word runs as a QL string (see docs)
   browserprov dot       --profile DIR [--around KEY --radius N]
                                                        export the graph (or one key's
                                                        neighborhood) as Graphviz DOT
@@ -49,6 +53,9 @@ Common options:
   --budget MS     query deadline in milliseconds (default unlimited)
   --trace         (search/personalize/when/lineage/query) print a span
                   tree with per-stage timings after the results
+  --explain       (query) print the EXPLAIN profile: per-stage wall time,
+                  rows in/out, node/edge touches, budget use, truncation
+  --explain-json  (query) the same profile as JSON
 ";
 
 /// Runs one command, returning its textual output.
@@ -129,6 +136,30 @@ fn with_trace<R>(args: &Args, f: impl FnOnce() -> R) -> (R, String) {
     let mut rendered = String::from("\ntrace:\n");
     for root in trace::take_roots() {
         rendered.push_str(&root.render());
+    }
+    (result, rendered)
+}
+
+/// Runs `f` with EXPLAIN profiling enabled when `--explain` or
+/// `--explain-json` was passed and returns its result plus the rendered
+/// profile (empty without either flag).
+fn with_explain<R>(args: &Args, f: impl FnOnce() -> R) -> (R, String) {
+    let json = args.has("explain-json");
+    if !args.has("explain") && !json {
+        return (f(), String::new());
+    }
+    profile::set_enabled(true);
+    let _ = profile::take();
+    let result = f();
+    profile::set_enabled(false);
+    let mut rendered = String::new();
+    for p in profile::take() {
+        if json {
+            rendered.push_str(&p.to_json());
+        } else {
+            rendered.push('\n');
+            rendered.push_str(&p.render_table());
+        }
     }
     (result, rendered)
 }
@@ -437,6 +468,138 @@ fn downloads_from(args: &Args) -> Result<String, String> {
 }
 
 fn query_cmd(args: &Args) -> Result<String, String> {
+    match args.positional.first().map(String::as_str) {
+        Some(
+            "context" | "ppr" | "textual" | "personalize" | "timectx" | "lineage" | "describe",
+        ) => query_usecase(args),
+        _ => query_ql(args),
+    }
+}
+
+/// Renders scored hits the way `search`/`when` do.
+fn render_hits(result: &bp_query::QueryResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} hits in {:?}{}",
+        result.hits.len(),
+        result.elapsed,
+        if result.truncated { " (truncated)" } else { "" }
+    );
+    for hit in &result.hits {
+        let _ = writeln!(
+            out,
+            "  {:>8.4}  [{}] {}  {}",
+            hit.score,
+            hit.kind,
+            hit.key,
+            hit.title.as_deref().unwrap_or("")
+        );
+    }
+    out
+}
+
+/// `query <sub> ARGS…`: runs one named query path, with `--trace` and
+/// `--explain[-json]` observability.
+fn query_usecase(args: &Args) -> Result<String, String> {
+    let sub = args.positional[0].clone();
+    let rest = args.positional[1..].join(" ");
+    if rest.is_empty() {
+        return Err(format!("query {sub} requires an argument"));
+    }
+    import_metrics(args);
+    let browser = open(args)?;
+    let contextual = ContextualConfig {
+        budget: budget(args),
+        ..ContextualConfig::default()
+    };
+    let (body, explained) = with_explain(args, || {
+        let (body, traced) = with_trace(args, || -> Result<String, String> {
+            match sub.as_str() {
+                "context" => Ok(render_hits(&contextual_history_search(
+                    &browser,
+                    &rest,
+                    &contextual,
+                ))),
+                "ppr" => Ok(render_hits(&bp_query::contextual_history_search_ppr(
+                    &browser,
+                    &rest,
+                    &contextual,
+                    &bp_graph::pagerank::PageRankConfig::default(),
+                ))),
+                "textual" => Ok(render_hits(&textual_history_search(
+                    &browser,
+                    &rest,
+                    &contextual,
+                ))),
+                "personalize" => {
+                    let config = PersonalizeConfig {
+                        contextual: contextual.clone(),
+                        ..PersonalizeConfig::default()
+                    };
+                    let expanded = personalize_query(&browser, &rest, &config);
+                    Ok(if expanded.is_unchanged() {
+                        format!("no history context for {rest:?}; query unchanged\n")
+                    } else {
+                        format!("expanded query: {:?}\n", expanded.to_query_string())
+                    })
+                }
+                "timectx" => {
+                    let companion = args.opt("with", "");
+                    if companion.is_empty() {
+                        return Err("query timectx requires SUBJECT --with COMPANION".to_owned());
+                    }
+                    let config = TimeContextConfig {
+                        budget: budget(args),
+                        ..TimeContextConfig::default()
+                    };
+                    Ok(render_hits(&time_contextual_search(
+                        &browser, &rest, &companion, &config,
+                    )))
+                }
+                "lineage" => {
+                    let download = find_download(&browser, &rest)
+                        .ok_or_else(|| format!("no download recorded for {rest}"))?;
+                    let config = LineageConfig {
+                        budget: budget(args),
+                        ..LineageConfig::default()
+                    };
+                    Ok(
+                        match first_recognizable_ancestor(&browser, download, &config) {
+                            Some(a) => format!(
+                                "first recognizable ancestor: {} ({} visits, {} hops)\n",
+                                a.url,
+                                a.visit_count,
+                                a.path.hops()
+                            ),
+                            None => {
+                                format!(
+                                    "no recognizable ancestor found for {rest} (within budget)\n"
+                                )
+                            }
+                        },
+                    )
+                }
+                "describe" => {
+                    let config = bp_query::DescribeConfig {
+                        budget: budget(args),
+                        ..bp_query::DescribeConfig::default()
+                    };
+                    bp_query::describe_origin(&browser, &rest, &config)
+                        .ok_or_else(|| format!("nothing in history matches {rest:?}"))
+                }
+                other => Err(format!("unknown query path {other:?}")),
+            }
+        });
+        body.map(|b| b + &traced)
+    });
+    let mut out = body?;
+    out.push_str(&explained);
+    export_metrics(args);
+    Ok(out)
+}
+
+fn query_ql(args: &Args) -> Result<String, String> {
     let text = args.positional.join(" ");
     if text.is_empty() {
         return Err("query requires a query string".to_owned());
@@ -663,6 +826,62 @@ mod tests {
             "dot --profile {profile} --around http://nope/ --radius 1"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn query_usecase_dispatch_and_explain() {
+        let dir = TempDir::new("explain");
+        let log = dir.path("events.log");
+        let profile = dir.path("profile");
+        run_line(&format!("generate --days 2 --seed 7 --out {log}")).unwrap();
+        run_line(&format!("ingest --profile {profile} {log}")).unwrap();
+
+        // Every use-case subcommand dispatches.
+        for sub in ["context", "ppr", "textual"] {
+            let out = run_line(&format!("query --profile {profile} {sub} news")).unwrap();
+            assert!(out.contains("hits"), "{sub}: {out}");
+        }
+        let out = run_line(&format!("query --profile {profile} personalize news")).unwrap();
+        assert!(out.contains("query"), "{out}");
+        let out = run_line(&format!(
+            "query --profile {profile} timectx news --with software"
+        ))
+        .unwrap();
+        assert!(out.contains("hits"), "{out}");
+        assert!(run_line(&format!("query --profile {profile} timectx news")).is_err());
+        assert!(run_line(&format!("query --profile {profile} lineage /nope.bin")).is_err());
+
+        // --explain prints the per-stage table with every plan stage, the
+        // budget story, and the (other) remainder row.
+        let out = run_line(&format!("query --profile {profile} context news --explain")).unwrap();
+        assert!(out.contains("query.context  total"), "{out}");
+        for stage in ["text_seeds", "expand", "hits", "blend", "(other)"] {
+            assert!(out.contains(stage), "missing {stage}: {out}");
+        }
+        assert!(out.contains("budget none"), "{out}");
+        let out = run_line(&format!(
+            "query --profile {profile} context news --budget 200 --explain"
+        ))
+        .unwrap();
+        assert!(out.contains("budget 200.00ms"), "{out}");
+
+        // --explain-json emits parseable JSON with the same accounting.
+        let out = run_line(&format!(
+            "query --profile {profile} context news --explain-json"
+        ))
+        .unwrap();
+        let json_line = out.lines().find(|l| l.starts_with('{')).unwrap();
+        let v = bp_obs::json::parse(json_line).expect("explain JSON parses");
+        assert_eq!(v.get("query").and_then(|q| q.as_str()), Some("context"));
+        assert!(v.get("stages").and_then(|s| s.as_array()).is_some());
+
+        // The nested personalize profile carries its contextual child.
+        let out = run_line(&format!(
+            "query --profile {profile} personalize news --explain"
+        ))
+        .unwrap();
+        assert!(out.contains("query.personalize"), "{out}");
+        assert!(out.contains("query.context"), "{out}");
     }
 
     #[test]

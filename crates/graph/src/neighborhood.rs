@@ -106,7 +106,10 @@ pub fn expand(
     config: &ExpansionConfig,
     budget: &Budget,
 ) -> Expansion {
-    let clock = budget.deadline().map(|d| (ClockHandle::real().start(), d));
+    let clock = budget.deadline().map(|d| {
+        let handle = budget.clock().cloned().unwrap_or_else(ClockHandle::real);
+        (handle.start(), d)
+    });
     let mut out = Expansion::default();
     // Frontier holds (node, incoming weight) for the current hop.
     let mut frontier: Vec<(NodeId, f64)> = Vec::new();

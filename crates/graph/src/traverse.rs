@@ -53,6 +53,7 @@ pub struct Budget {
     max_nodes: Option<usize>,
     max_depth: Option<usize>,
     deadline: Option<Duration>,
+    clock: Option<ClockHandle>,
 }
 
 impl Budget {
@@ -82,6 +83,15 @@ impl Budget {
         self
     }
 
+    /// Measures the deadline against `clock` instead of the process
+    /// monotonic clock, so tests can expire traversals deterministically
+    /// with a mock clock.
+    #[must_use]
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// The node cap, if any.
     pub fn max_nodes(&self) -> Option<usize> {
         self.max_nodes
@@ -95,6 +105,11 @@ impl Budget {
     /// The wall-clock cap, if any.
     pub fn deadline(&self) -> Option<Duration> {
         self.deadline
+    }
+
+    /// The clock the deadline is measured against, when overridden.
+    pub fn clock(&self) -> Option<&ClockHandle> {
+        self.clock.as_ref()
     }
 }
 
@@ -149,7 +164,10 @@ pub fn bfs(
     mut edge_filter: impl FnMut(EdgeKind) -> bool,
     budget: &Budget,
 ) -> Traversal {
-    let clock = budget.deadline.map(|d| (ClockHandle::real().start(), d));
+    let clock = budget.deadline.map(|d| {
+        let handle = budget.clock.clone().unwrap_or_else(ClockHandle::real);
+        (handle.start(), d)
+    });
     let mut reached = Vec::new();
     let mut truncated = false;
     if start.as_usize() >= graph.node_count() {
@@ -247,9 +265,39 @@ pub fn descendants(graph: &ProvenanceGraph, start: NodeId) -> Traversal {
 pub fn first_ancestor_where(
     graph: &ProvenanceGraph,
     start: NodeId,
-    mut pred: impl FnMut(NodeId) -> bool,
+    pred: impl FnMut(NodeId) -> bool,
     budget: &Budget,
 ) -> Option<Path> {
+    first_ancestor_where_observed(graph, start, pred, budget).path
+}
+
+/// The observed outcome of a [`first_ancestor_where_observed`] search: the
+/// path (when an ancestor matched) plus the work accounting that EXPLAIN
+/// profiles report — how many nodes the BFS visited and whether the budget
+/// cut it short (in which case a matching ancestor may exist beyond the
+/// truncation point).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AncestorSearch {
+    /// Path from the start to the nearest matching proper ancestor, if any
+    /// was reached within the budget.
+    pub path: Option<Path>,
+    /// Nodes the BFS visited (including the start node).
+    pub nodes_touched: usize,
+    /// Tree edges the BFS followed while visiting those nodes.
+    pub edges_touched: usize,
+    /// `true` if a budget limit stopped the search before exhaustion.
+    pub truncated: bool,
+}
+
+/// [`first_ancestor_where`] with work accounting: same search, but the
+/// caller also learns how many nodes were visited and whether the budget
+/// truncated the traversal — the inputs an EXPLAIN profile needs.
+pub fn first_ancestor_where_observed(
+    graph: &ProvenanceGraph,
+    start: NodeId,
+    mut pred: impl FnMut(NodeId) -> bool,
+    budget: &Budget,
+) -> AncestorSearch {
     let traversal = bfs(
         graph,
         start,
@@ -258,8 +306,14 @@ pub fn first_ancestor_where(
         budget,
     );
     // Skip the start node itself: "first ancestor" is a proper ancestor.
-    let hit = traversal.reached.iter().skip(1).find(|r| pred(r.node))?;
-    Some(reconstruct_path(graph, &traversal, hit.node))
+    let hit = traversal.reached.iter().skip(1).find(|r| pred(r.node));
+    let path = hit.map(|h| reconstruct_path(graph, &traversal, h.node));
+    AncestorSearch {
+        path,
+        nodes_touched: traversal.len(),
+        edges_touched: traversal.reached.iter().filter(|r| r.via.is_some()).count(),
+        truncated: traversal.truncated,
+    }
 }
 
 /// A concrete path through the graph: alternating nodes and the edges that
@@ -502,6 +556,40 @@ mod tests {
     fn first_ancestor_where_none_when_no_match() {
         let (g, ids) = lineage_fixture();
         assert!(first_ancestor_where(&g, ids[4], |_| false, &Budget::new()).is_none());
+    }
+
+    #[test]
+    fn observed_ancestor_search_reports_work() {
+        let (g, ids) = lineage_fixture();
+        let found = first_ancestor_where_observed(&g, ids[4], |_| true, &Budget::new());
+        assert_eq!(found.path.as_ref().map(Path::target), Some(ids[3]));
+        // Lineage of the download: dl, host, blog, search, term = 5 nodes.
+        assert_eq!(found.nodes_touched, 5);
+        assert_eq!(found.edges_touched, 4);
+        assert!(!found.truncated);
+
+        let missed = first_ancestor_where_observed(&g, ids[4], |_| false, &Budget::new());
+        assert!(missed.path.is_none());
+        assert_eq!(missed.nodes_touched, 5);
+    }
+
+    #[test]
+    fn budget_clock_drives_deadline_with_mock_time() {
+        let (g, ids) = lineage_fixture();
+        let (clock, mock) = ClockHandle::mock();
+        // 100 µs budget; each clock reading auto-ticks 60 µs, so the
+        // deadline expires after a couple of visited nodes.
+        mock.set_auto_tick_micros(60);
+        let cut = first_ancestor_where_observed(
+            &g,
+            ids[4],
+            |_| false,
+            &Budget::new()
+                .with_deadline(Duration::from_micros(100))
+                .with_clock(clock),
+        );
+        assert!(cut.truncated, "mock deadline must truncate the search");
+        assert!(cut.nodes_touched < 5);
     }
 
     #[test]

@@ -32,10 +32,13 @@ impl Clock for RealClock {
     }
 }
 
-/// A hand-driven clock for tests: time only moves when told to.
+/// A hand-driven clock for tests: time only moves when told to, or — with
+/// [`MockClock::set_auto_tick_micros`] — by a fixed step per reading, so
+/// deadline loops expire deterministically without real sleeps.
 #[derive(Debug, Default)]
 pub struct MockClock {
     micros: AtomicU64,
+    auto_tick_us: AtomicU64,
 }
 
 impl MockClock {
@@ -59,11 +62,23 @@ impl MockClock {
     pub fn set_micros(&self, us: u64) {
         self.micros.store(us, Ordering::SeqCst);
     }
+
+    /// Makes every subsequent reading advance the clock by `us`
+    /// microseconds (after returning the pre-tick value). Zero — the
+    /// default — restores fully manual time.
+    pub fn set_auto_tick_micros(&self, us: u64) {
+        self.auto_tick_us.store(us, Ordering::SeqCst);
+    }
 }
 
 impl Clock for MockClock {
     fn now_micros(&self) -> u64 {
-        self.micros.load(Ordering::SeqCst)
+        let tick = self.auto_tick_us.load(Ordering::SeqCst);
+        if tick == 0 {
+            self.micros.load(Ordering::SeqCst)
+        } else {
+            self.micros.fetch_add(tick, Ordering::SeqCst)
+        }
     }
 }
 
@@ -177,6 +192,18 @@ mod tests {
         mock.set_micros(1);
         // Going backwards saturates rather than underflowing.
         assert_eq!(sw.elapsed_micros(), 1);
+    }
+
+    #[test]
+    fn auto_tick_advances_per_reading() {
+        let (clock, mock) = ClockHandle::mock();
+        mock.set_auto_tick_micros(250);
+        assert_eq!(clock.now_micros(), 0);
+        assert_eq!(clock.now_micros(), 250);
+        assert_eq!(clock.now_micros(), 500);
+        mock.set_auto_tick_micros(0);
+        assert_eq!(clock.now_micros(), 750);
+        assert_eq!(clock.now_micros(), 750, "manual mode holds still again");
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
         let _ = writeln!(out, "{name}_sum {}", hist.sum);
         let _ = writeln!(out, "{name}_count {}", hist.count);
+        // Interpolated percentile readouts as plain series, so dashboards
+        // get p50/p95/p99 without a quantile-capable backend.
+        let _ = writeln!(out, "{name}_p50 {}", hist.p50());
+        let _ = writeln!(out, "{name}_p95 {}", hist.p95());
+        let _ = writeln!(out, "{name}_p99 {}", hist.p99());
     }
     out
 }
@@ -78,9 +83,29 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders the snapshot as a JSON object.
+/// Version of the JSON exposition schema ([`render_json`]). Bump on any
+/// breaking change to the document's shape so external tooling can gate.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// Renders the snapshot as a JSON object with a **stable, documented
+/// schema** external tooling can depend on:
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "counters":   { "<name>": <u64>, ... },
+///   "gauges":     { "<name>": <i64>, ... },
+///   "histograms": { "<name>": {"count": u64, "sum": u64, "max": u64,
+///                               "p50": u64, "p95": u64, "p99": u64}, ... }
+/// }
+/// ```
+///
+/// Metric names are sorted lexicographically within each section;
+/// percentiles are interpolated
+/// ([`HistogramSnapshot::quantile_interpolated`]) in microseconds for
+/// latency histograms.
 pub fn render_json(snap: &RegistrySnapshot) -> String {
-    let mut out = String::from("{\n  \"counters\": {");
+    let mut out = format!("{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"counters\": {{");
     let mut first = true;
     for (name, value) in &snap.counters {
         if !first {
@@ -270,9 +295,65 @@ mod tests {
     #[test]
     fn json_contains_quantiles() {
         let text = render_json(&sample_registry().snapshot());
+        assert!(text.contains("\"schema_version\": 1"), "{text}");
         assert!(text.contains("\"capture.events_total\": 42"), "{text}");
         assert!(text.contains("\"p99\""), "{text}");
         assert!(text.contains("\"max\": 900"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_text_has_percentile_series() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("query_context_latency_us_p50 "), "{text}");
+        assert!(text.contains("query_context_latency_us_p95 "), "{text}");
+        assert!(text.contains("query_context_latency_us_p99 "), "{text}");
+    }
+
+    /// The satellite contract: `stats --metrics-json` output is a stable,
+    /// parseable document. Render → parse → every metric's value round
+    /// trips, the schema version gates, and keys come out sorted.
+    #[test]
+    fn json_exposition_round_trips_through_parser() {
+        let registry = sample_registry();
+        registry.counter("a.first").add(1);
+        registry.counter("z.last").add(2);
+        registry.gauge("negative.level").set(-17);
+        let snap = registry.snapshot();
+        let text = render_json(&snap);
+
+        let doc = crate::json::parse(&text).expect("exposition JSON parses");
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_u64()),
+            Some(JSON_SCHEMA_VERSION)
+        );
+        let counters = doc.get("counters").and_then(|c| c.as_object()).unwrap();
+        assert_eq!(counters.len(), snap.counters.len());
+        for (name, value) in &snap.counters {
+            assert_eq!(counters[name].as_u64(), Some(*value), "counter {name}");
+        }
+        let gauges = doc.get("gauges").and_then(|g| g.as_object()).unwrap();
+        assert_eq!(gauges["negative.level"].as_f64(), Some(-17.0));
+        let hists = doc.get("histograms").and_then(|h| h.as_object()).unwrap();
+        for (name, hist) in &snap.histograms {
+            let entry = &hists[name];
+            assert_eq!(
+                entry.get("count").and_then(|v| v.as_u64()),
+                Some(hist.count)
+            );
+            assert_eq!(entry.get("sum").and_then(|v| v.as_u64()), Some(hist.sum));
+            assert_eq!(entry.get("max").and_then(|v| v.as_u64()), Some(hist.max));
+            for p in ["p50", "p95", "p99"] {
+                assert!(
+                    entry.get(p).and_then(|v| v.as_u64()).is_some(),
+                    "{name}.{p}"
+                );
+            }
+        }
+        // Keys appear in sorted order in the rendered document itself.
+        let a = text.find("\"a.first\"").unwrap();
+        let c = text.find("\"capture.events_total\"").unwrap();
+        let z = text.find("\"z.last\"").unwrap();
+        assert!(a < c && c < z, "counter keys must render sorted");
     }
 
     #[test]

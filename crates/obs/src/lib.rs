@@ -11,6 +11,8 @@
 //!   readout.
 //! * [`trace`] — span-based tracing with thread-local span stacks,
 //!   rendering per-stage timing trees for `--trace` query runs.
+//! * [`profile`] — query EXPLAIN profiles: per-stage wall time, rows
+//!   in/out, node/edge touches, and truncation points for `--explain`.
 //! * [`Journal`] — a fixed-capacity ring buffer of notable events
 //!   (recoveries, compactions, deadline misses, redactions).
 //! * [`expo`] — Prometheus-style text and JSON exposition, plus a
@@ -28,7 +30,9 @@
 pub mod clock;
 pub mod expo;
 mod journal;
+pub mod json;
 mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use clock::{unix_time_ms, Clock, ClockHandle, MockClock, RealClock, Stopwatch};

@@ -234,19 +234,53 @@ impl HistogramSnapshot {
         self.max
     }
 
-    /// Median upper-bound estimate.
+    /// Interpolated estimate of the `q`-quantile (0 < q ≤ 1): the rank is
+    /// located in its log₂ bucket and positioned linearly within the
+    /// bucket's `[lo, hi]` range (samples assumed uniform inside a
+    /// bucket), clamped to the observed maximum. Tighter than
+    /// [`HistogramSnapshot::quantile`]'s upper bound — exact for data
+    /// uniform within buckets, and never off by more than one bucket
+    /// width. Returns 0 when empty.
+    pub fn quantile_interpolated(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().clamp(1.0, self.count as f64);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let below = seen as f64;
+            seen += n;
+            if (seen as f64) >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // The observed max tightens the top bucket's upper edge
+                // (for lower buckets hi < max already).
+                let hi = hi.min(self.max);
+                // Fraction of this bucket's samples at or below the rank.
+                let frac = ((rank - below) / *n as f64).clamp(0.0, 1.0);
+                let width = hi.saturating_sub(lo) as f64;
+                let value = lo as f64 + frac * width;
+                return (value.round() as u64).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Interpolated median.
     pub fn p50(&self) -> u64 {
-        self.quantile(0.50)
+        self.quantile_interpolated(0.50)
     }
 
-    /// 95th-percentile upper-bound estimate.
+    /// Interpolated 95th percentile.
     pub fn p95(&self) -> u64 {
-        self.quantile(0.95)
+        self.quantile_interpolated(0.95)
     }
 
-    /// 99th-percentile upper-bound estimate.
+    /// Interpolated 99th percentile.
     pub fn p99(&self) -> u64 {
-        self.quantile(0.99)
+        self.quantile_interpolated(0.99)
     }
 
     /// Mean sample value (0 when empty).
@@ -394,6 +428,91 @@ mod tests {
         assert!(s.p50() >= 3, "p50 {} under-estimates", s.p50());
         assert_eq!(s.p99(), 5000, "top quantile clamps to observed max");
         assert!(s.mean() > 0.0);
+    }
+
+    /// Exact quantile of a sample set, for ground truth: the smallest
+    /// value with at least ⌈q·n⌉ samples at or below it.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn interpolated_quantiles_match_uniform_distribution() {
+        // 1..=1000 uniformly: within a log2 bucket the data really is
+        // uniform, so interpolation should land within a hair of exact.
+        let h = Histogram::default();
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
+            let exact = exact_quantile(&samples, q);
+            let est = s.quantile_interpolated(q);
+            let err = est.abs_diff(exact);
+            assert!(
+                err <= 2,
+                "q={q}: interpolated {est} vs exact {exact} (err {err})"
+            );
+            // The interpolated estimate never exceeds the upper bound.
+            assert!(
+                est <= s.quantile(q),
+                "q={q}: {est} > bound {}",
+                s.quantile(q)
+            );
+        }
+    }
+
+    #[test]
+    fn interpolated_quantiles_on_skewed_distribution_stay_in_bucket() {
+        // Heavily skewed: 90 fast samples at ~100, 10 slow at ~100_000.
+        let h = Histogram::default();
+        let mut samples = Vec::new();
+        for i in 0..90u64 {
+            samples.push(100 + i);
+        }
+        for i in 0..10u64 {
+            samples.push(100_000 + 1000 * i);
+        }
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort();
+        let s = h.snapshot();
+        for q in [0.50, 0.95, 0.99] {
+            let exact = exact_quantile(&samples, q);
+            let est = s.quantile_interpolated(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            assert!(
+                (lo..=hi).contains(&est) || est == s.max.min(hi),
+                "q={q}: estimate {est} outside exact value's bucket [{lo}, {hi}]"
+            );
+        }
+        // p50 sits in the fast mode, p99 in the slow tail.
+        assert!(s.p50() < 1000, "p50 {}", s.p50());
+        assert!(s.p99() >= 100_000, "p99 {}", s.p99());
+    }
+
+    #[test]
+    fn interpolated_quantile_edge_cases() {
+        let empty = HistogramSnapshot::empty();
+        assert_eq!(empty.quantile_interpolated(0.5), 0);
+
+        // All-zero samples: bucket 0 has zero width.
+        let h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().quantile_interpolated(0.99), 0);
+
+        // One sample: every quantile is that sample.
+        let h = Histogram::default();
+        h.record(777);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_interpolated(0.01), s.quantile_interpolated(0.99));
+        assert!(s.quantile_interpolated(0.5) <= 777);
+        // Clamped to the observed max at the top.
+        assert_eq!(s.quantile_interpolated(1.0), 777.min(s.max));
     }
 
     #[test]

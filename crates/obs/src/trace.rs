@@ -32,6 +32,9 @@ pub struct SpanNode {
     pub name: &'static str,
     /// Wall time between open and close.
     pub duration: Duration,
+    /// Free-form annotation attached via [`note`] while the span was open
+    /// (e.g. `truncated: deadline hit, ~12 items remaining`).
+    pub note: Option<String>,
     /// Spans opened (and closed) while this one was open.
     pub children: Vec<SpanNode>,
 }
@@ -41,7 +44,11 @@ impl SpanNode {
     /// each child's share of its parent.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{}  {:.3?}", self.name, self.duration);
+        let _ = write!(out, "{}  {:.3?}", self.name, self.duration);
+        if let Some(note) = &self.note {
+            let _ = write!(out, "  [{note}]");
+        }
+        out.push('\n');
         render_children(&self.children, self.duration, "", &mut out);
         out
     }
@@ -60,11 +67,15 @@ fn render_children(children: &[SpanNode], parent: Duration, prefix: &str, out: &
         } else {
             child.duration.as_nanos() as f64 / parent.as_nanos() as f64 * 100.0
         };
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{prefix}{branch}{}  {:.3?} ({share:.1}%)",
             child.name, child.duration
         );
+        if let Some(note) = &child.note {
+            let _ = write!(out, "  [{note}]");
+        }
+        out.push('\n');
         render_children(
             &child.children,
             child.duration,
@@ -77,6 +88,7 @@ fn render_children(children: &[SpanNode], parent: Duration, prefix: &str, out: &
 struct OpenSpan {
     name: &'static str,
     start: Stopwatch,
+    note: Option<String>,
     children: Vec<SpanNode>,
 }
 
@@ -96,10 +108,33 @@ pub fn span(name: &'static str) -> SpanGuard {
         stack.borrow_mut().push(OpenSpan {
             name,
             start: ClockHandle::real().start(),
+            note: None,
             children: Vec::new(),
         })
     });
     SpanGuard { open: true }
+}
+
+/// Annotates the innermost open span on this thread (no-op when tracing is
+/// disabled or no span is open). Repeated notes on the same span join with
+/// `"; "`. Query paths use this to mark deadline truncation — the stage
+/// span carries the truncation point and remaining-work estimate.
+pub fn note(text: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    STACK.with(|stack| {
+        if let Some(open) = stack.borrow_mut().last_mut() {
+            let text = text.into();
+            match &mut open.note {
+                Some(existing) => {
+                    existing.push_str("; ");
+                    existing.push_str(&text);
+                }
+                None => open.note = Some(text),
+            }
+        }
+    });
 }
 
 /// Drains the finished root spans collected on this thread.
@@ -133,6 +168,7 @@ impl SpanGuard {
             Some(SpanNode {
                 name: open.name,
                 duration: duration_override.unwrap_or_else(|| open.start.elapsed()),
+                note: open.note,
                 children: open.children,
             })
         });
@@ -227,6 +263,44 @@ mod tests {
         assert!(text.contains("outer"), "{text}");
         assert!(text.contains("└─ inner"), "{text}");
         assert!(text.contains('%'), "{text}");
+    }
+
+    #[test]
+    fn notes_attach_to_the_innermost_open_span() {
+        let roots = with_tracing(|| {
+            {
+                let _root = span("outer");
+                {
+                    let _c = span("inner");
+                    note("truncated: deadline hit");
+                    note("~12 items remaining");
+                }
+                note("outer-level note");
+            }
+            take_roots()
+        });
+        let root = &roots[0];
+        assert_eq!(root.note.as_deref(), Some("outer-level note"));
+        assert_eq!(
+            root.children[0].note.as_deref(),
+            Some("truncated: deadline hit; ~12 items remaining")
+        );
+        let text = root.render();
+        assert!(
+            text.contains("[truncated: deadline hit; ~12 items remaining]"),
+            "{text}"
+        );
+        assert!(text.contains("[outer-level note]"), "{text}");
+    }
+
+    #[test]
+    fn note_without_open_span_is_inert() {
+        with_tracing(|| {
+            note("orphan");
+            assert!(take_roots().is_empty());
+        });
+        set_enabled(false);
+        note("disabled"); // must not panic
     }
 
     #[test]

@@ -15,7 +15,26 @@ use bp_graph::hits::{hits, HitsConfig};
 use bp_graph::neighborhood::{expand, ExpansionConfig};
 use bp_graph::traverse::Budget;
 use bp_graph::{NodeId, NodeKind};
+use bp_obs::profile::{self, QueryPlan};
 use bp_obs::{trace, ClockHandle};
+
+/// EXPLAIN plan for [`contextual_history_search`].
+static CONTEXT_PLAN: QueryPlan = QueryPlan {
+    query: "context",
+    stages: &["text_seeds", "expand", "hits", "blend"],
+};
+
+/// EXPLAIN plan for [`contextual_history_search_ppr`].
+static PPR_PLAN: QueryPlan = QueryPlan {
+    query: "ppr",
+    stages: &["text_seeds", "pagerank", "blend"],
+};
+
+/// EXPLAIN plan for [`textual_history_search`].
+static TEXTUAL_PLAN: QueryPlan = QueryPlan {
+    query: "textual",
+    stages: &["text_search", "rank"],
+};
 
 /// Tuning for contextual history search.
 #[derive(Debug, Clone)]
@@ -79,19 +98,34 @@ pub fn contextual_history_search(
     config: &ContextualConfig,
 ) -> QueryResult {
     let span = trace::span("query.context");
+    let prof = profile::begin(&CONTEXT_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
 
     // 1. Textual seeds.
     let seeds = {
         let _stage = trace::span("text_seeds");
-        text_seeds(browser, query)
+        let pstage = profile::stage("text_seeds");
+        let seeds = text_seeds(browser, query);
+        pstage.rows(query.split_whitespace().count(), seeds.len());
+        seeds
     };
 
     // 2. Neighborhood expansion from the seeds.
     let expansion = {
         let _stage = trace::span("expand");
-        expand(graph, &seeds, &config.expansion, &config.budget)
+        let pstage = profile::stage("expand");
+        let expansion = expand(graph, &seeds, &config.expansion, &config.budget);
+        pstage.rows(seeds.len(), expansion.weight.len());
+        pstage.touched(expansion.weight.len(), 0);
+        if expansion.truncated {
+            let remaining = graph.node_count().saturating_sub(expansion.weight.len()) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: budget hit, ~{remaining} nodes unreached"
+            ));
+        }
+        expansion
     };
 
     // 3. Optional HITS pass over the reached neighborhood (the "base
@@ -99,9 +133,12 @@ pub fn contextual_history_search(
     //    user's journeys converged on.
     let authority: std::collections::HashMap<NodeId, f64> = if config.hits_weight > 0.0 {
         let _stage = trace::span("hits");
+        let pstage = profile::stage("hits");
         let mut base: Vec<NodeId> = expansion.weight.keys().copied().collect();
         base.sort(); // deterministic member order → deterministic scores
-        hits(graph, &base, &HitsConfig::default()).authority
+        let authority = hits(graph, &base, &HitsConfig::default()).authority;
+        pstage.rows(base.len(), authority.len());
+        authority
     } else {
         std::collections::HashMap::new()
     };
@@ -110,6 +147,7 @@ pub fn contextual_history_search(
     //    truncates itself, but the blend loop scales with the reached set,
     //    so it too honors the bound rather than silently overrunning.
     let stage = trace::span("blend");
+    let pstage = profile::stage("blend");
     let mut truncated = expansion.truncated;
     let mut text_score: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
     for &(n, s) in &seeds {
@@ -117,9 +155,14 @@ pub fn contextual_history_search(
     }
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
-    for (&node, &context) in expansion.weight.iter() {
+    for (blended, (&node, &context)) in expansion.weight.iter().enumerate() {
         if deadline.expired() {
             truncated = true;
+            let remaining = (expansion.weight.len() - blended) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: deadline hit, ~{remaining} candidates unscored"
+            ));
             break;
         }
         let Ok(n) = graph.node(node) else { continue };
@@ -154,6 +197,8 @@ pub fn contextual_history_search(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    pstage.rows(expansion.weight.len(), hits.len());
+    drop(pstage);
     drop(stage);
     let elapsed = deadline.elapsed();
     crate::slo::observe(
@@ -165,6 +210,7 @@ pub fn contextual_history_search(
         truncated,
     );
     span.finish_with(elapsed);
+    prof.finish_with(elapsed);
     QueryResult {
         hits,
         elapsed,
@@ -184,15 +230,23 @@ pub fn contextual_history_search_ppr(
     pagerank: &bp_graph::pagerank::PageRankConfig,
 ) -> QueryResult {
     let span = trace::span("query.context_ppr");
+    let prof = profile::begin(&PPR_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
     let seeds = {
         let _stage = trace::span("text_seeds");
-        text_seeds(browser, query)
+        let pstage = profile::stage("text_seeds");
+        let seeds = text_seeds(browser, query);
+        pstage.rows(query.split_whitespace().count(), seeds.len());
+        seeds
     };
     let scores = {
         let _stage = trace::span("pagerank");
-        bp_graph::pagerank::personalized_pagerank(graph, &seeds, pagerank)
+        let pstage = profile::stage("pagerank");
+        let scores = bp_graph::pagerank::personalized_pagerank(graph, &seeds, pagerank);
+        pstage.rows(seeds.len(), scores.score.len());
+        pstage.touched(scores.score.len(), 0);
+        scores
     };
     // Rescale so the context component is comparable to the expansion
     // variant (top score ≈ 1).
@@ -209,9 +263,17 @@ pub fn contextual_history_search_ppr(
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
     let mut truncated = false;
-    for (node, raw) in scores.score {
+    let stage = trace::span("blend");
+    let pstage = profile::stage("blend");
+    let total_scored = scores.score.len();
+    for (blended, (node, raw)) in scores.score.into_iter().enumerate() {
         if deadline.expired() {
             truncated = true;
+            let remaining = (total_scored - blended) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: deadline hit, ~{remaining} candidates unscored"
+            ));
             break;
         }
         let Ok(n) = graph.node(node) else { continue };
@@ -245,6 +307,9 @@ pub fn contextual_history_search_ppr(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    pstage.rows(total_scored, hits.len());
+    drop(pstage);
+    drop(stage);
     let elapsed = deadline.elapsed();
     // Same use case as the expansion variant, so it samples the same
     // latency histogram; PPR runs to a fixed point, so truncation can
@@ -258,6 +323,7 @@ pub fn contextual_history_search_ppr(
         truncated,
     );
     span.finish_with(elapsed);
+    prof.finish_with(elapsed);
     QueryResult {
         hits,
         elapsed,
@@ -275,11 +341,20 @@ pub fn textual_history_search(
     let span = trace::span("query.textual");
     // The baseline deliberately runs unbounded — it exists to show what
     // the paper's "currently" behavior costs, budget and all.
+    let prof = profile::begin(&TEXTUAL_PLAN, &config.clock, None);
     let deadline = crate::slo::Deadline::unbounded(&config.clock);
     let graph = browser.graph();
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
-    for (doc, score) in browser.text_index().search(query) {
+    let text_hits = {
+        let pstage = profile::stage("text_search");
+        let text_hits = browser.text_index().search(query);
+        pstage.rows(query.split_whitespace().count(), text_hits.len());
+        text_hits
+    };
+    let pstage = profile::stage("rank");
+    let candidates = text_hits.len();
+    for (doc, score) in text_hits {
         let node = NodeId::new(doc);
         let Ok(n) = graph.node(node) else { continue };
         if !config.result_kinds.contains(&n.kind()) {
@@ -309,6 +384,8 @@ pub fn textual_history_search(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    pstage.rows(candidates, hits.len());
+    drop(pstage);
     let elapsed = deadline.elapsed();
     // A baseline, not one of the four use cases: latency sample only, no
     // deadline classification (the unbounded deadline has no budget).
@@ -321,6 +398,7 @@ pub fn textual_history_search(
         false,
     );
     span.finish_with(elapsed);
+    prof.finish_with(elapsed);
     QueryResult {
         hits,
         elapsed,

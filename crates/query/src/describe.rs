@@ -10,8 +10,15 @@
 use bp_core::ProvenanceBrowser;
 use bp_graph::traverse::Budget;
 use bp_graph::{EdgeId, EdgeKind, NodeId, NodeKind};
+use bp_obs::profile::{self, QueryPlan};
 use bp_obs::{trace, ClockHandle};
 use std::fmt::Write as _;
+
+/// EXPLAIN plan for [`describe_origin`].
+static DESCRIBE_PLAN: QueryPlan = QueryPlan {
+    query: "describe",
+    stages: &["resolve", "narrate"],
+};
 
 /// Options for [`describe_origin`].
 #[derive(Debug, Clone)]
@@ -113,8 +120,21 @@ pub fn describe_origin(
     config: &DescribeConfig,
 ) -> Option<String> {
     let span = trace::span("query.describe");
+    let prof = profile::begin(&DESCRIBE_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
-    let start = *browser.store().keys().get(key).last()?;
+    let resolved = {
+        let pstage = profile::stage("resolve");
+        let found = browser.store().keys().get(key).last().copied();
+        pstage.rows(1, usize::from(found.is_some()));
+        found
+    };
+    let Some(start) = resolved else {
+        let elapsed = deadline.elapsed();
+        span.finish_with(elapsed);
+        prof.finish_with(elapsed);
+        return None;
+    };
+    let pstage = profile::stage("narrate");
     let mut out = String::new();
     let _ = writeln!(out, "{}", label(browser, start));
     let mut current = start;
@@ -123,6 +143,11 @@ pub fn describe_origin(
     while steps < config.max_steps {
         if deadline.expired() {
             bounded = true;
+            let remaining = (config.max_steps - steps) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: deadline hit, ~{remaining} hops unnarrated"
+            ));
             break;
         }
         let Some((_, parent, kind)) = narrative_parent(browser, current) else {
@@ -137,6 +162,9 @@ pub fn describe_origin(
     if (bounded || steps == config.max_steps) && narrative_parent(browser, current).is_some() {
         let _ = writeln!(out, "  … (chain continues)");
     }
+    pstage.rows(1, steps);
+    pstage.touched(steps + 1, steps);
+    drop(pstage);
     let elapsed = deadline.elapsed();
     crate::slo::observe(
         browser.obs(),
@@ -147,6 +175,7 @@ pub fn describe_origin(
         bounded,
     );
     span.finish_with(elapsed);
+    prof.finish_with(elapsed);
     Some(out)
 }
 

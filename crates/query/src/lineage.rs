@@ -11,8 +11,15 @@
 use bp_core::ProvenanceBrowser;
 use bp_graph::traverse::{self, Budget, Direction, Path};
 use bp_graph::{NodeId, NodeKind};
+use bp_obs::profile::{self, QueryPlan};
 use bp_obs::{trace, ClockHandle};
 use std::time::Duration;
+
+/// EXPLAIN plan for [`first_recognizable_ancestor`].
+static LINEAGE_PLAN: QueryPlan = QueryPlan {
+    query: "lineage",
+    stages: &["ancestor_bfs"],
+};
 
 /// Tuning for lineage queries.
 #[derive(Debug, Clone)]
@@ -68,11 +75,13 @@ pub fn first_recognizable_ancestor(
     config: &LineageConfig,
 ) -> Option<LineageAnswer> {
     let span = trace::span("query.lineage");
+    let prof = profile::begin(&LINEAGE_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
-    let found = {
+    let (found, truncated) = {
         let _stage = trace::span("ancestor_bfs");
-        traverse::first_ancestor_where(
+        let pstage = profile::stage("ancestor_bfs");
+        let search = traverse::first_ancestor_where_observed(
             graph,
             download,
             |node| {
@@ -82,25 +91,34 @@ pub fn first_recognizable_ancestor(
                 })
             },
             &config.budget,
-        )
-        .and_then(|path| {
+        );
+        pstage.touched(search.nodes_touched, search.edges_touched);
+        pstage.rows(1, usize::from(search.path.is_some()));
+        if search.truncated {
+            let remaining = graph.node_count().saturating_sub(search.nodes_touched) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: budget hit, ~{remaining} ancestors unexplored"
+            ));
+        }
+        let found = search.path.and_then(|path| {
             let ancestor = path.target();
             let url = graph.node(ancestor).ok()?.key().to_owned();
             Some((ancestor, url, path))
-        })
+        });
+        (found, search.truncated)
     };
     let elapsed = deadline.elapsed();
-    // The BFS stops at the budget but does not report whether it did, so
-    // only hit/miss is classified here — never `bounded`.
     crate::slo::observe(
         browser.obs(),
         "lineage",
         "query.lineage.latency_us",
         elapsed,
         deadline.budget(),
-        false,
+        truncated,
     );
     span.finish_with(elapsed);
+    prof.finish_with(elapsed);
     let (ancestor, url, path) = found?;
     Some(LineageAnswer {
         ancestor,

@@ -9,8 +9,16 @@
 
 use crate::context::{contextual_history_search, ContextualConfig};
 use bp_core::ProvenanceBrowser;
+use bp_obs::profile::{self, QueryPlan};
 use bp_obs::trace;
 use bp_text::TermProfile;
+
+/// EXPLAIN plan for [`personalize_query`]. The inner contextual search
+/// attaches its own profile as a child of this one.
+static PERSONALIZE_PLAN: QueryPlan = QueryPlan {
+    query: "personalize",
+    stages: &["contextual", "term_profile"],
+};
 
 /// Tuning for query expansion.
 #[derive(Debug, Clone)]
@@ -75,17 +83,45 @@ pub fn personalize_query(
     config: &PersonalizeConfig,
 ) -> ExpandedQuery {
     let span = trace::span("query.personalize");
+    let prof = profile::begin(
+        &PERSONALIZE_PLAN,
+        &config.contextual.clock,
+        config.contextual.budget.deadline(),
+    );
     let deadline = crate::slo::Deadline::start(
         &config.contextual.clock,
         config.contextual.budget.deadline(),
     );
-    let contextual = contextual_history_search(browser, query, &config.contextual);
+    let contextual = {
+        let pstage = profile::stage("contextual");
+        let contextual = contextual_history_search(browser, query, &config.contextual);
+        pstage.rows(1, contextual.hits.len());
+        if contextual.truncated {
+            // The child profile carries the precise cut point; at this
+            // level the estimate is how many hits never materialized.
+            let remaining = config
+                .contextual
+                .max_results
+                .saturating_sub(contextual.hits.len()) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: inner contextual search cut short, ~{remaining} hits may be missing"
+            ));
+        }
+        contextual
+    };
     let stage = trace::span("term_profile");
+    let pstage = profile::stage("term_profile");
     let mut profile = TermProfile::new();
-    for hit in &contextual.hits {
+    for (profiled, hit) in contextual.hits.iter().enumerate() {
         // The inner search spends most of the budget; the profile pass
         // over its hits honors whatever remains.
         if deadline.expired() {
+            let remaining = (contextual.hits.len() - profiled) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: deadline hit, ~{remaining} hits unprofiled"
+            ));
             break;
         }
         let mut text = hit.key.clone();
@@ -102,6 +138,8 @@ pub fn personalize_query(
         .filter(|(_, w)| *w >= config.min_term_weight)
         .map(|(t, _)| t)
         .collect();
+    pstage.rows(contextual.hits.len(), added_terms.len());
+    drop(pstage);
     drop(stage);
     let elapsed = deadline.elapsed();
     // The inner contextual search already classified the deadline (it is
@@ -116,6 +154,7 @@ pub fn personalize_query(
         contextual.truncated,
     );
     span.finish_with(elapsed);
+    prof.finish_with(elapsed);
     ExpandedQuery {
         original: query.to_owned(),
         added_terms,

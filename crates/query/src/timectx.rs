@@ -13,9 +13,16 @@ use crate::result::{QueryResult, ScoredHit};
 use bp_core::ProvenanceBrowser;
 use bp_graph::traverse::Budget;
 use bp_graph::{EdgeKind, NodeId, NodeKind, TimeInterval};
+use bp_obs::profile::{self, QueryPlan};
 use bp_obs::{trace, ClockHandle};
 use std::collections::HashSet;
 use std::time::Duration;
+
+/// EXPLAIN plan for [`time_contextual_search`].
+static TIMECTX_PLAN: QueryPlan = QueryPlan {
+    query: "timectx",
+    stages: &["text_search", "associate"],
+};
 
 /// Tuning for time-contextual search.
 #[derive(Debug, Clone)]
@@ -59,10 +66,12 @@ pub fn time_contextual_search(
     config: &TimeContextConfig,
 ) -> QueryResult {
     let span = trace::span("query.timectx");
+    let prof = profile::begin(&TIMECTX_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
 
     let stage = trace::span("text_search");
+    let pstage = profile::stage("text_search");
     let subject_hits = browser.text_index().search(subject);
     let companion_nodes: HashSet<NodeId> = browser
         .text_index()
@@ -70,6 +79,8 @@ pub fn time_contextual_search(
         .into_iter()
         .map(|(doc, _)| NodeId::new(doc))
         .collect();
+    pstage.rows(2, subject_hits.len() + companion_nodes.len());
+    drop(pstage);
     drop(stage);
     if companion_nodes.is_empty() || subject_hits.is_empty() {
         let elapsed = deadline.elapsed();
@@ -82,6 +93,7 @@ pub fn time_contextual_search(
             false,
         );
         span.finish_with(elapsed);
+        prof.finish_with(elapsed);
         return QueryResult {
             hits: Vec::new(),
             elapsed,
@@ -89,6 +101,8 @@ pub fn time_contextual_search(
         };
     }
     let stage = trace::span("associate");
+    let pstage = profile::stage("associate");
+    let subject_total = subject_hits.len();
     let companion_intervals: Vec<TimeInterval> = companion_nodes
         .iter()
         .filter_map(|&n| graph.node(n).ok().map(|node| *node.interval()))
@@ -97,11 +111,16 @@ pub fn time_contextual_search(
     let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
         std::collections::HashMap::new();
     let mut truncated = false;
-    for (doc, text_score) in subject_hits {
+    for (associated, (doc, text_score)) in subject_hits.into_iter().enumerate() {
         // The interval/edge check per subject hit is the expensive part;
         // degrade to a partial answer when the budget runs out.
         if deadline.expired() {
             truncated = true;
+            let remaining = (subject_total - associated) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: deadline hit, ~{remaining} subject hits unchecked"
+            ));
             break;
         }
         let node = NodeId::new(doc);
@@ -149,6 +168,8 @@ pub fn time_contextual_search(
             .then(a.node.cmp(&b.node))
     });
     hits.truncate(config.max_results);
+    pstage.rows(subject_total, hits.len());
+    drop(pstage);
     drop(stage);
     let elapsed = deadline.elapsed();
     crate::slo::observe(
@@ -160,6 +181,7 @@ pub fn time_contextual_search(
         truncated,
     );
     span.finish_with(elapsed);
+    prof.finish_with(elapsed);
     QueryResult {
         hits,
         elapsed,

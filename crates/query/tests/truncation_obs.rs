@@ -1,0 +1,309 @@
+//! Deadline-truncation observability, one test per query path.
+//!
+//! Each test drives a query into truncation with a mock clock (auto-tick:
+//! every clock reading advances time, so deadlines expire deterministically
+//! without sleeps) and asserts both observability channels report it:
+//! the trace span tree carries a truncation note, and the EXPLAIN
+//! [`bp_obs::profile::Profile`] carries the truncation stage and a
+//! remaining-work estimate.
+
+use bp_core::{BrowserEvent, CaptureConfig, EventKind, NavigationCause, ProvenanceBrowser, TabId};
+use bp_graph::traverse::Budget;
+use bp_graph::Timestamp;
+use bp_obs::profile::Profile;
+use bp_obs::trace::SpanNode;
+use bp_obs::{profile, trace, ClockHandle, MockClock};
+use bp_query::{
+    describe_origin, find_download, first_recognizable_ancestor, personalize_query,
+    textual_history_search, time_contextual_search, ContextualConfig, DescribeConfig,
+    LineageConfig, PersonalizeConfig, TimeContextConfig,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+struct TempBrowser {
+    browser: ProvenanceBrowser,
+    dir: PathBuf,
+}
+impl TempBrowser {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "bp-trunc-obs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempBrowser {
+            browser: ProvenanceBrowser::open(&dir, CaptureConfig::default()).unwrap(),
+            dir,
+        }
+    }
+}
+impl Drop for TempBrowser {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn t(s: i64) -> Timestamp {
+    Timestamp::from_secs(s)
+}
+
+/// A small history every path can query: a rosebud search chain, a wine +
+/// plane-tickets overlap, and a download chain.
+fn history(tag: &str) -> TempBrowser {
+    let mut tb = TempBrowser::new(tag);
+    let b = &mut tb.browser;
+    b.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))
+        .unwrap();
+    b.ingest(&BrowserEvent::navigate(
+        t(1),
+        TabId(0),
+        "http://se/?q=rosebud",
+        Some("rosebud - Search"),
+        NavigationCause::SearchQuery {
+            query: "rosebud".to_owned(),
+        },
+    ))
+    .unwrap();
+    b.ingest(&BrowserEvent::navigate(
+        t(2),
+        TabId(0),
+        "http://films/kane",
+        Some("Citizen Kane rosebud wine"),
+        NavigationCause::Link,
+    ))
+    .unwrap();
+    b.ingest(&BrowserEvent::navigate(
+        t(3),
+        TabId(0),
+        "http://travel/plane-tickets",
+        Some("cheap plane tickets"),
+        NavigationCause::Typed,
+    ))
+    .unwrap();
+    b.ingest(&BrowserEvent::new(
+        t(4),
+        EventKind::Download {
+            tab: TabId(0),
+            path: "/dl/thing.bin".to_owned(),
+            bytes: 1,
+        },
+    ))
+    .unwrap();
+    tb
+}
+
+/// Serializes tests (the profile/trace enable flags are process-global)
+/// and collects both channels.
+fn with_obs<R>(f: impl FnOnce() -> R) -> (R, Vec<Profile>, Vec<SpanNode>) {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _lock = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = profile::take();
+    let _ = trace::take_roots();
+    profile::set_enabled(true);
+    trace::set_enabled(true);
+    let out = f();
+    trace::set_enabled(false);
+    profile::set_enabled(false);
+    (out, profile::take(), trace::take_roots())
+}
+
+/// A ticking mock clock: deadlines measured against it expire after a few
+/// readings.
+fn ticking(us_per_read: u64) -> (ClockHandle, Arc<MockClock>) {
+    let (clock, mock) = ClockHandle::mock();
+    mock.set_auto_tick_micros(us_per_read);
+    (clock, mock)
+}
+
+/// Collects every note in a span tree (depth-first).
+fn notes(span: &SpanNode, out: &mut Vec<String>) {
+    if let Some(n) = &span.note {
+        out.push(n.clone());
+    }
+    for child in &span.children {
+        notes(child, out);
+    }
+}
+
+fn all_notes(roots: &[SpanNode]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in roots {
+        notes(r, &mut out);
+    }
+    out
+}
+
+/// Asserts the two channels agree: the profile truncated at `stage` with a
+/// remaining-work estimate, and some span carries a truncation note.
+fn assert_truncation(profiles: &[Profile], roots: &[SpanNode], stage: &str) {
+    assert_eq!(profiles.len(), 1, "one root profile per query");
+    let p = &profiles[0];
+    assert!(p.truncated, "profile must record truncation");
+    assert_eq!(p.truncation_stage, Some(stage), "truncation stage");
+    let remaining = p
+        .remaining_estimate
+        .expect("profile carries a remaining-work estimate");
+    let ns = all_notes(roots);
+    let note = ns
+        .iter()
+        .find(|n| n.contains("truncated"))
+        .unwrap_or_else(|| panic!("some span must carry a truncation note, got {ns:?}"));
+    assert!(
+        note.contains(&format!("~{remaining}")),
+        "span note {note:?} must carry the same estimate (~{remaining})"
+    );
+}
+
+#[test]
+fn context_truncation_is_observable() {
+    let tb = history("context");
+    let (clock, _mock) = ticking(50);
+    let config = ContextualConfig {
+        budget: Budget::new()
+            .with_deadline(Duration::ZERO)
+            .with_clock(clock.clone()),
+        clock,
+        ..ContextualConfig::default()
+    };
+    let (result, profiles, roots) =
+        with_obs(|| bp_query::contextual_history_search(&tb.browser, "rosebud", &config));
+    assert!(result.truncated);
+    // The ticking clock expires the zero deadline at the expansion's first
+    // check, before the blend loop ever runs.
+    assert_truncation(&profiles, &roots, "expand");
+    assert!(profiles[0].remaining_estimate.unwrap() > 0);
+    assert_eq!(profiles[0].budget_us, Some(0));
+}
+
+#[test]
+fn ppr_truncation_is_observable() {
+    let tb = history("ppr");
+    let (clock, _mock) = ticking(50);
+    // No budget clock: PPR itself runs to a fixed point; only the blend
+    // loop's deadline (measured on the query clock) trips.
+    let config = ContextualConfig {
+        budget: Budget::new().with_deadline(Duration::ZERO),
+        clock,
+        ..ContextualConfig::default()
+    };
+    let (result, profiles, roots) = with_obs(|| {
+        bp_query::contextual_history_search_ppr(
+            &tb.browser,
+            "rosebud",
+            &config,
+            &bp_graph::pagerank::PageRankConfig::default(),
+        )
+    });
+    assert!(result.truncated);
+    assert_truncation(&profiles, &roots, "blend");
+}
+
+#[test]
+fn textual_baseline_never_truncates() {
+    let tb = history("textual");
+    let (clock, _mock) = ticking(50);
+    // Even with a deadline configured, the baseline runs unbounded — that
+    // is its documented contract; the profile reflects it.
+    let config = ContextualConfig {
+        budget: Budget::new().with_deadline(Duration::ZERO),
+        clock,
+        ..ContextualConfig::default()
+    };
+    let (result, profiles, _roots) =
+        with_obs(|| textual_history_search(&tb.browser, "rosebud", &config));
+    assert!(!result.truncated);
+    assert_eq!(profiles.len(), 1);
+    let p = &profiles[0];
+    assert!(!p.truncated);
+    assert_eq!(p.truncation_stage, None);
+    assert_eq!(p.budget_us, None, "the baseline is unbounded by design");
+    let stages: Vec<&str> = p.stages.iter().map(|s| s.name).collect();
+    assert_eq!(stages, vec!["text_search", "rank"]);
+}
+
+#[test]
+fn personalize_truncation_is_observable() {
+    let tb = history("personalize");
+    let (clock, _mock) = ticking(50);
+    let config = PersonalizeConfig {
+        contextual: ContextualConfig {
+            budget: Budget::new()
+                .with_deadline(Duration::ZERO)
+                .with_clock(clock.clone()),
+            clock,
+            ..ContextualConfig::default()
+        },
+        ..PersonalizeConfig::default()
+    };
+    let ((), profiles, roots) = with_obs(|| {
+        let _ = personalize_query(&tb.browser, "rosebud", &config);
+    });
+    // The inner contextual search is the stage that hit its budget; its
+    // own profile attaches as a child with the precise cut point.
+    assert_truncation(&profiles, &roots, "contextual");
+    let p = &profiles[0];
+    assert_eq!(p.children.len(), 1, "inner contextual profile is a child");
+    assert_eq!(p.children[0].query, "context");
+    assert!(p.children[0].truncated);
+    assert_eq!(p.children[0].truncation_stage, Some("expand"));
+}
+
+#[test]
+fn timectx_truncation_is_observable() {
+    let tb = history("timectx");
+    let (clock, _mock) = ticking(50);
+    let config = TimeContextConfig {
+        budget: Budget::new().with_deadline(Duration::ZERO),
+        clock,
+        ..TimeContextConfig::default()
+    };
+    let (result, profiles, roots) =
+        with_obs(|| time_contextual_search(&tb.browser, "wine", "plane tickets", &config));
+    assert!(result.truncated);
+    assert_truncation(&profiles, &roots, "associate");
+    // Every subject hit was left unchecked: the estimate covers them all.
+    assert!(profiles[0].remaining_estimate.unwrap() > 0);
+}
+
+#[test]
+fn lineage_truncation_is_observable() {
+    let tb = history("lineage");
+    let (clock, _mock) = ticking(50);
+    let dl = find_download(&tb.browser, "/dl/thing.bin").unwrap();
+    let config = LineageConfig {
+        budget: Budget::new()
+            .with_deadline(Duration::ZERO)
+            .with_clock(clock.clone()),
+        clock,
+        ..LineageConfig::default()
+    };
+    let (answer, profiles, roots) =
+        with_obs(|| first_recognizable_ancestor(&tb.browser, dl, &config));
+    assert!(answer.is_none(), "nothing reachable under a zero budget");
+    assert_truncation(&profiles, &roots, "ancestor_bfs");
+    assert!(profiles[0].remaining_estimate.unwrap() > 0);
+}
+
+#[test]
+fn describe_truncation_is_observable() {
+    let tb = history("describe");
+    let (clock, _mock) = ticking(50);
+    let config = DescribeConfig {
+        budget: Budget::new().with_deadline(Duration::ZERO),
+        clock,
+        ..DescribeConfig::default()
+    };
+    let (story, profiles, roots) =
+        with_obs(|| describe_origin(&tb.browser, "/dl/thing.bin", &config));
+    let story = story.expect("the key resolves even when narration truncates");
+    assert!(story.contains("(chain continues)"), "{story}");
+    assert_truncation(&profiles, &roots, "narrate");
+    // Nothing was narrated, so the whole step budget remains.
+    assert_eq!(
+        profiles[0].remaining_estimate,
+        Some(config.max_steps as u64)
+    );
+}

@@ -13,6 +13,12 @@
 //!
 //! `--compare` exits nonzero when any path's p95 grew past the threshold
 //! (default 20%) and the `--floor-us` noise floor.
+//!
+//! `--serve-smoke HOST:PORT` switches to smoke-testing a running
+//! `browserprov serve` daemon instead: every observability endpoint is
+//! scraped over a raw TCP socket, `/metrics` must expose a non-empty
+//! `bp_` metric family, and per-endpoint scrape latencies are reported.
+//! Exits nonzero on any failed scrape.
 
 use bp_bench::fixtures::{history, TempProfile};
 use bp_bench::relschema::RelationalProvenance;
@@ -37,6 +43,7 @@ struct Options {
     compare_with: Option<String>,
     threshold_pct: f64,
     floor_us: u64,
+    serve_smoke: Option<String>,
 }
 
 fn parse_options(raw: &[String]) -> Result<Options, String> {
@@ -47,6 +54,7 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
         compare_with: None,
         threshold_pct: 20.0,
         floor_us: 0,
+        serve_smoke: None,
     };
     let mut i = 0;
     while i < raw.len() {
@@ -81,6 +89,10 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
                 opts.floor_us = value(i)?
                     .parse()
                     .map_err(|_| "--floor-us must be a number")?;
+                i += 2;
+            }
+            "--serve-smoke" => {
+                opts.serve_smoke = Some(value(i)?.clone());
                 i += 2;
             }
             other => return Err(format!("unknown option {other:?}")),
@@ -279,8 +291,100 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
     })
 }
 
+/// One raw-socket HTTP/1.1 GET; returns `(status, body)`.
+fn http_get(addr: &str, target: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let request = format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write {target}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read {target}: {e}"))?;
+    let status: u16 = raw
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{target}: malformed status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|x| x.1.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Smoke-tests a live `browserprov serve` daemon at `addr` (`host:port`).
+fn run_serve_smoke(addr: &str) -> Result<bool, String> {
+    let clock = ClockHandle::real();
+    let endpoints = [
+        "/healthz",
+        "/readyz",
+        "/metrics",
+        "/metrics.json",
+        "/tracez",
+        "/profilez",
+        "/debug/flightz",
+    ];
+    let mut ok = true;
+    for target in endpoints {
+        let t0 = clock.start();
+        match http_get(addr, target) {
+            Ok((status, body)) => {
+                let elapsed = t0.elapsed();
+                let mut problems = Vec::new();
+                if status != 200 {
+                    problems.push(format!("status {status}"));
+                }
+                match target {
+                    "/metrics" if !body.lines().any(|l| l.starts_with("bp_")) => {
+                        problems.push("no bp_ metric family".to_owned());
+                    }
+                    "/metrics.json" if !body.trim_start().starts_with('{') => {
+                        problems.push("body is not JSON".to_owned());
+                    }
+                    "/debug/flightz" if !body.starts_with("# bp-flight dump v1") => {
+                        problems.push("missing flight-dump header".to_owned());
+                    }
+                    _ => {}
+                }
+                if problems.is_empty() {
+                    eprintln!(
+                        "bench: serve-smoke {target:<16} 200 in {}us ({} bytes)",
+                        elapsed.as_micros(),
+                        body.len()
+                    );
+                } else {
+                    ok = false;
+                    eprintln!(
+                        "bench: serve-smoke {target:<16} FAILED: {}",
+                        problems.join(", ")
+                    );
+                }
+            }
+            Err(e) => {
+                ok = false;
+                eprintln!("bench: serve-smoke {target:<16} FAILED: {e}");
+            }
+        }
+    }
+    eprintln!(
+        "bench: serve-smoke {}",
+        if ok { "passed" } else { "FAILED" }
+    );
+    Ok(ok)
+}
+
 fn run(raw: &[String]) -> Result<bool, String> {
     let opts = parse_options(raw)?;
+    if let Some(addr) = &opts.serve_smoke {
+        return run_serve_smoke(addr);
+    }
     let report = run_benchmark(&opts)?;
     let text = report.to_json();
     std::fs::create_dir_all(&opts.out_dir).map_err(|e| e.to_string())?;

@@ -47,6 +47,17 @@ USAGE:
   browserprov snapshot  --profile DIR                  compact the store
   browserprov redact    --profile DIR KEY              scrub a URL/query/path from history
   browserprov tree      --profile DIR [--depth N]      render the navigation tree (Ayers-Stasko view)
+  browserprov serve     --profile DIR [--port P]       run the live observability daemon:
+                                                       continuous capture + queries with
+                                                       /metrics /healthz /readyz /tracez
+                                                       /profilez /debug/flightz endpoints
+                                                       (--days N --seed S --duration-s T
+                                                       --snapshot-interval-s T
+                                                       --inject-latency-us U
+                                                       --query-interval-ms T
+                                                       --allow-debug-panic); writes the bound
+                                                       port to DIR/serve.port; SIGTERM stops,
+                                                       SIGUSR1 dumps the flight recorder
 
 Common options:
   --profile DIR   profile directory (default ./profile)
@@ -79,6 +90,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "snapshot" => snapshot(args),
         "redact" => redact(args),
         "tree" => tree(args),
+        "serve" => crate::serve::run(args),
         "" | "help" | "--help" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -110,14 +122,14 @@ fn metrics_path(args: &Args) -> PathBuf {
 /// CLI invocation is one short-lived process; importing first means
 /// counters and histograms accumulate across runs, while gauges are
 /// overwritten by whatever the freshly opened store publishes.
-fn import_metrics(args: &Args) {
+pub(crate) fn import_metrics(args: &Args) {
     if let Ok(text) = std::fs::read_to_string(metrics_path(args)) {
         let _ = expo::import_snapshot(Obs::global().registry(), &text);
     }
 }
 
 /// Writes the live registry back next to the profile (best-effort).
-fn export_metrics(args: &Args) {
+pub(crate) fn export_metrics(args: &Args) {
     let snap = Obs::global().registry().snapshot();
     let _ = std::fs::write(metrics_path(args), expo::export_snapshot(&snap));
 }

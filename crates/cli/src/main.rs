@@ -4,6 +4,8 @@
 
 mod args;
 mod commands;
+mod serve;
+mod signals;
 
 use std::process::ExitCode;
 

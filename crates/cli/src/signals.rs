@@ -1,0 +1,87 @@
+//! Minimal POSIX signal handling for the `serve` daemon — no `libc` crate
+//! (the workspace takes no external dependencies; std already links the C
+//! runtime, so binding `signal(2)` directly is enough).
+//!
+//! Handlers only store into process-wide atomics (the one operation that
+//! is unconditionally async-signal-safe); the daemon's maintenance loop
+//! polls them:
+//!
+//! * `SIGTERM` / `SIGINT` → [`shutdown_requested`] — graceful stop.
+//! * `SIGUSR1` → [`take_flight_dump_request`] — write a flight dump
+//!   without stopping.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static FLIGHT_DUMP: AtomicBool = AtomicBool::new(false);
+
+/// Whether a `SIGTERM`/`SIGINT` has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Consumes a pending `SIGUSR1` flight-dump request, if any.
+pub fn take_flight_dump_request() -> bool {
+    FLIGHT_DUMP.swap(false, Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, FLIGHT_DUMP, SHUTDOWN};
+
+    // Signal numbers for Linux's primary architectures (x86-64, aarch64).
+    const SIGINT: i32 = 2;
+    const SIGUSR1: i32 = 10;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_shutdown(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_flight_dump(_signum: i32) {
+        FLIGHT_DUMP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_shutdown);
+            signal(SIGINT, on_shutdown);
+            signal(SIGUSR1, on_flight_dump);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-unix builds run without signal integration; `--duration-s`
+    /// remains the way to stop the daemon.
+    pub fn install() {}
+}
+
+/// Installs the handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_flags_round_trip() {
+        install();
+        assert!(!take_flight_dump_request());
+        FLIGHT_DUMP.store(true, Ordering::SeqCst);
+        assert!(take_flight_dump_request());
+        assert!(!take_flight_dump_request(), "request is consumed");
+        // Shutdown is sticky by design; exercise it last and leave the
+        // cross-test state documented: other tests must not assume false.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+        assert!(shutdown_requested());
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+}

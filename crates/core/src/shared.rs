@@ -146,6 +146,11 @@ impl CapturePipeline {
                                 *thread_rejected.lock() += 1;
                             }
                             Err(other) => {
+                                bp_obs::log::error(
+                                    "bp_core::shared",
+                                    "capture pipeline stopped on storage error",
+                                    &[("error", other.to_string())],
+                                );
                                 *thread_failed.lock() = Some(other.to_string());
                                 return;
                             }

@@ -1,0 +1,14 @@
+// Fixture: L006 raw prints in a library crate.
+
+pub fn rebuild_index(entries: usize) {
+    println!("rebuilding index with {entries} entries");
+    eprintln!("index rebuild done");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("debugging a test");
+    }
+}

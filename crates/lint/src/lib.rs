@@ -14,6 +14,7 @@
 //! | L003 | no lossy numeric `as` casts in the storage/text codecs |
 //! | L004 | no default-hasher map iteration feeding an encoder (replay determinism) |
 //! | L005 | every public query entry point consults `slo::Deadline` before iterating |
+//! | L006 | no bare `println!`/`eprintln!`/`dbg!` in library crates — use `bp_obs::log` |
 //!
 //! Violations can be suppressed site-by-site with
 //! `// bp-lint: allow(L00X): <reason>` — the reason is mandatory, and a

@@ -1,4 +1,4 @@
-//! The rule set: repo-specific invariants L001–L005.
+//! The rule set: repo-specific invariants L001–L006.
 //!
 //! Rules are token-pattern checks over the [`FileContext`]; each one
 //! encodes an invariant the provenance store's correctness story depends
@@ -27,6 +27,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoLossyCastInCodec),
         Box::new(DeterministicSerialization),
         Box::new(SloGuard),
+        Box::new(NoRawLog),
     ]
 }
 
@@ -40,6 +41,26 @@ const LIB_CRATES: [&str; 6] = [
     "crates/text/src/",
     "crates/query/src/",
 ];
+
+/// Crates covered by L006: everything built as a library, including the
+/// observability and simulator crates. User-facing printing belongs to
+/// bp-cli and the bench/lint binaries, which are deliberately absent.
+const NO_RAW_LOG_CRATES: [&str; 8] = [
+    "crates/core/src/",
+    "crates/storage/src/",
+    "crates/places/src/",
+    "crates/graph/src/",
+    "crates/text/src/",
+    "crates/query/src/",
+    "crates/obs/src/",
+    "crates/sim/src/",
+];
+
+/// The one sanctioned raw-stderr site: `bp_obs::log`'s own sink (L006).
+const RAW_LOG_SINK_FILE: &str = "crates/obs/src/log.rs";
+
+/// Printing macros L006 flags.
+const RAW_LOG_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
 
 /// Files forming the on-disk codec (L003): every byte written here must
 /// come from a checked conversion.
@@ -542,6 +563,56 @@ impl Rule for SloGuard {
     }
 }
 
+// ---------------------------------------------------------------------------
+// L006 — no-raw-log
+// ---------------------------------------------------------------------------
+
+/// L006: library crates emit structured log events, not bare prints.
+///
+/// A daemonized store ships its diagnostics as JSON lines with levels and
+/// fields (`bp_obs::log`), which also land in the flight recorder; a bare
+/// `eprintln!` bypasses filtering, the recorder, and any collector parsing
+/// the stream. The log module's own stderr sink is the one exemption.
+pub struct NoRawLog;
+
+impl Rule for NoRawLog {
+    fn id(&self) -> &'static str {
+        "L006"
+    }
+    fn description(&self) -> &'static str {
+        "no println!/eprintln!/print!/eprint!/dbg! in library-crate non-test \
+         code — route diagnostics through bp_obs::log so they are leveled, \
+         filterable, and flight-recorded (log.rs's own sink is exempt)"
+    }
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Violation> {
+        if !NO_RAW_LOG_CRATES
+            .iter()
+            .any(|p| ctx.rel_path.starts_with(p))
+            || ctx.rel_path == RAW_LOG_SINK_FILE
+        {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let toks = &ctx.lexed.tokens;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..toks.len().saturating_sub(1) {
+            let t = ctx.text(i);
+            if RAW_LOG_MACROS.contains(&t) && ctx.is(i + 1, "!") && !ctx.in_test(toks[i].start) {
+                out.push(ctx.violation(
+                    self.id(),
+                    i,
+                    format!(
+                        "`{t}!` in a library crate writes unstructured output; use \
+                         bp_obs::log (debug/info/warn/error) so the event is leveled, \
+                         filterable via BP_LOG, and lands in the flight recorder"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::engine::{CheckReport, Engine};
@@ -624,5 +695,29 @@ mod tests {
         // Non-browser helpers and private fns are exempt.
         let helper = "pub fn rank(xs: &[u32]) -> u32 { let mut n = 0; for x in xs { n += x; } n }";
         assert!(check("crates/query/src/context.rs", helper).is_clean());
+    }
+
+    #[test]
+    fn l006_flags_raw_prints_in_library_crates_only() {
+        let src = "fn f() { eprintln!(\"recovered\"); }";
+        let r = check("crates/storage/src/store.rs", src);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, "L006");
+        assert!(r.violations[0].message.contains("bp_obs::log"));
+        // User-facing binaries may print freely.
+        assert!(check("crates/cli/src/commands.rs", src).is_clean());
+        assert!(check("crates/bench/src/bin/bench.rs", src).is_clean());
+        assert!(check("crates/lint/src/main.rs", src).is_clean());
+    }
+
+    #[test]
+    fn l006_exempts_the_log_sink_and_test_code() {
+        let sink = "pub fn emit(line: &str) { eprintln!(\"{line}\"); }";
+        assert!(check("crates/obs/src/log.rs", sink).is_clean());
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"debugging a test is fine\"); }\n}\n";
+        assert!(check("crates/graph/src/x.rs", in_test).is_clean());
+        // dbg! is flagged too — it is the easiest macro to leave behind.
+        let dbg = "fn f(x: u32) -> u32 { dbg!(x) }";
+        assert_eq!(check("crates/query/src/x.rs", dbg).violations.len(), 1);
     }
 }

@@ -37,7 +37,7 @@ fn violations_fixture_matches_golden_spans() {
         "{:?}",
         report.suppressions[0].reason
     );
-    assert_eq!(report.files, 6);
+    assert_eq!(report.files, 7);
 }
 
 #[test]
@@ -85,11 +85,11 @@ fn exit_code_two_on_usage_and_io_errors() {
 }
 
 #[test]
-fn rules_subcommand_lists_all_five() {
+fn rules_subcommand_lists_every_rule() {
     let out = bin().args(["rules"]).output().expect("run bp-lint");
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for id in ["L001", "L002", "L003", "L004", "L005"] {
+    for id in ["L001", "L002", "L003", "L004", "L005", "L006"] {
         assert!(stdout.contains(id), "missing {id} in: {stdout}");
     }
 }

@@ -16,16 +16,61 @@ use crate::metrics::{HistogramSnapshot, MetricsRegistry, RegistrySnapshot, HISTO
 use std::fmt::Write as _;
 
 /// Maps a metric name onto the Prometheus charset (`[a-zA-Z0-9_:]`).
+/// Metric names must not *start* with a digit, so a leading digit gets an
+/// underscore prefix.
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || c == ':' {
-                c
-            } else {
-                '_'
+    let mut out = String::with_capacity(name.len() + 1);
+    if name.starts_with(|c: char| c.is_ascii_digit()) {
+        out.push('_');
+    }
+    out.extend(name.chars().map(|c| {
+        if c.is_ascii_alphanumeric() || c == ':' {
+            c
+        } else {
+            '_'
+        }
+    }));
+    out
+}
+
+/// Escapes a label *value* per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed are the only characters with
+/// escape sequences (`\\`, `\"`, `\n`); everything else — including other
+/// control characters and full UTF-8 — passes through verbatim. Dropping
+/// or mangling any of the three would make hostile label values (paths
+/// with quotes, messages with newlines) parse as different series or break
+/// the line orientation of the format.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one labeled sample line (`name{k="v",…} value`), sanitizing the
+/// metric/label names and escaping the label values. Used for info-style
+/// series such as `bp_build_info{version="…",profile="…"} 1`, whose label
+/// values (filesystem paths) can contain arbitrary bytes.
+pub fn render_labeled_sample(name: &str, labels: &[(&str, &str)], value: i64) -> String {
+    let mut out = sanitize(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (label, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
             }
-        })
-        .collect()
+            let _ = write!(out, "{}=\"{}\"", sanitize(label), escape_label_value(v));
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+    out
 }
 
 /// Renders the snapshot in the Prometheus text exposition format.
@@ -65,7 +110,7 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -389,5 +434,38 @@ mod tests {
     fn json_escaping_handles_control_chars() {
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn label_values_escape_exactly_the_spec_set() {
+        assert_eq!(escape_label_value(r"C:\tmp"), r"C:\\tmp");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // Tabs, carriage returns, and UTF-8 pass through verbatim.
+        assert_eq!(escape_label_value("a\tb\rc é"), "a\tb\rc é");
+    }
+
+    #[test]
+    fn labeled_samples_render_and_never_break_line_orientation() {
+        let line = render_labeled_sample(
+            "bp_build_info",
+            &[("version", "0.1.0"), ("profile", "/tmp/a\nb\"c\\d")],
+            1,
+        );
+        assert_eq!(
+            line,
+            "bp_build_info{version=\"0.1.0\",profile=\"/tmp/a\\nb\\\"c\\\\d\"} 1\n"
+        );
+        // Exactly one newline: the terminator. Hostile values cannot
+        // smuggle extra sample lines into the exposition.
+        assert_eq!(line.matches('\n').count(), 1);
+        let bare = render_labeled_sample("bp_up", &[], 1);
+        assert_eq!(bare, "bp_up 1\n");
+    }
+
+    #[test]
+    fn sanitize_prefixes_leading_digits() {
+        assert_eq!(sanitize("2xx.responses"), "_2xx_responses");
+        assert_eq!(sanitize("ok.name"), "ok_name");
     }
 }

@@ -1,0 +1,238 @@
+//! The flight recorder: a fixed-size ring of the last ~4k log/span events.
+//!
+//! Post-mortem debugging of a long-running `serve` daemon needs the events
+//! *leading up to* a failure, not just aggregate counters. The recorder
+//! keeps the most recent [`FLIGHT_CAPACITY`] entries in memory at all
+//! times and renders them oldest-first on demand: the `/debug/flightz`
+//! endpoint returns the dump, `SIGUSR1` writes it to disk, and
+//! [`install_panic_hook`] writes it on any panic (then chains to the
+//! previous hook).
+//!
+//! Writers claim a slot with one lock-free `fetch_add` ticket; the slot
+//! body sits behind a tiny per-slot latch (bp-obs forbids `unsafe`, so a
+//! raw seqlock over uninitialized cells is off the table). A stale writer
+//! that laps the ring can never overwrite a newer entry: slots keep the
+//! highest ticket they have seen. Entries are therefore never torn and
+//! drain in strict sequence order.
+
+use crate::log::{LogEvent, LogLevel};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Capacity of the process-wide recorder (entries; a power of two).
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// One retained entry: a sequence number plus the structured event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Monotone ticket (0-based, never reused; gaps never occur).
+    pub seq: u64,
+    /// The recorded event.
+    pub event: LogEvent,
+}
+
+struct Slot {
+    /// `ticket + 1` of the entry held; 0 while empty.
+    stamp: AtomicU64,
+    entry: Mutex<Option<FlightEntry>>,
+}
+
+/// A bounded, concurrent, oldest-evicting event ring.
+pub struct FlightRecorder {
+    mask: u64,
+    next: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.next.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` entries (rounded up
+    /// to a power of two, minimum 2).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(2).next_power_of_two();
+        FlightRecorder {
+            mask: (capacity - 1) as u64,
+            next: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    stamp: AtomicU64::new(0),
+                    entry: Mutex::new(None),
+                })
+                .collect(),
+        }
+    }
+
+    /// Records one event, evicting the oldest entry once full.
+    pub fn record_log(&self, event: &LogEvent) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        let mut entry = slot.entry.lock();
+        // Two writers one lap apart can race to the same slot; the newer
+        // ticket wins regardless of lock acquisition order.
+        if slot.stamp.load(Ordering::Relaxed) < ticket + 1 {
+            slot.stamp.store(ticket + 1, Ordering::Relaxed);
+            *entry = Some(FlightEntry {
+                seq: ticket,
+                event: event.clone(),
+            });
+        }
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// The retained entries, oldest first (strictly increasing `seq`).
+    pub fn snapshot(&self) -> Vec<FlightEntry> {
+        let mut entries: Vec<FlightEntry> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.entry.lock().clone())
+            .collect();
+        entries.sort_by_key(|e| e.seq);
+        entries
+    }
+
+    /// Renders the dump: a header line with totals, then one JSON line per
+    /// retained entry, oldest first. This is the `/debug/flightz` body and
+    /// the on-disk dump format (see README "Running as a service").
+    pub fn render(&self) -> String {
+        let entries = self.snapshot();
+        let total = self.total_recorded();
+        let mut out = format!(
+            "# bp-flight dump v1: {} retained of {} recorded ({} evicted)\n",
+            entries.len(),
+            total,
+            total.saturating_sub(entries.len() as u64),
+        );
+        for entry in &entries {
+            let _ = writeln!(out, "{}", entry.event.to_json_line());
+        }
+        out
+    }
+
+    /// Writes [`FlightRecorder::render`] to `path` (best-effort).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// The process-wide recorder every accepted log event lands in.
+pub fn global() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| FlightRecorder::new(FLIGHT_CAPACITY))
+}
+
+/// Installs a panic hook that records the panic as an `ERROR` event,
+/// dumps the global recorder to `dump_path`, then chains to the previously
+/// installed hook (so default backtrace printing still happens). Worker
+/// threads that panic therefore leave a complete flight dump behind even
+/// though the process survives.
+pub fn install_panic_hook(dump_path: std::path::PathBuf) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        let location = info
+            .location()
+            .map(|l| format!("{}:{}", l.file(), l.line()))
+            .unwrap_or_else(|| "unknown".to_owned());
+        global().record_log(&LogEvent {
+            unix_ms: crate::clock::unix_time_ms(),
+            level: LogLevel::Error,
+            target: "panic".to_owned(),
+            message,
+            fields: vec![("location".to_owned(), location)],
+        });
+        let _ = global().dump_to(&dump_path);
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(n: u64) -> LogEvent {
+        LogEvent {
+            unix_ms: n,
+            level: LogLevel::Info,
+            target: "t".into(),
+            message: format!("m{n}"),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn retains_the_newest_entries_in_order() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10 {
+            ring.record_log(&event(i));
+        }
+        let entries = ring.snapshot();
+        assert_eq!(entries.len(), 4);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(entries[0].event.message, "m6");
+        assert_eq!(ring.total_recorded(), 10);
+    }
+
+    #[test]
+    fn render_reports_eviction_and_json_lines() {
+        let ring = FlightRecorder::new(2);
+        ring.record_log(&event(0));
+        ring.record_log(&event(1));
+        ring.record_log(&event(2));
+        let text = ring.render();
+        assert!(
+            text.starts_with("# bp-flight dump v1: 2 retained of 3 recorded (1 evicted)"),
+            "{text}"
+        );
+        assert!(text.contains("\"msg\":\"m2\""), "{text}");
+        assert!(!text.contains("\"msg\":\"m0\""), "{text}");
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let ring = FlightRecorder::new(5);
+        assert_eq!(ring.slots.len(), 8);
+        let ring = FlightRecorder::new(0);
+        assert_eq!(ring.slots.len(), 2);
+    }
+
+    #[test]
+    fn dump_to_writes_the_render() {
+        let ring = FlightRecorder::new(4);
+        ring.record_log(&event(7));
+        let path = std::env::temp_dir().join(format!(
+            "bp-flight-test-{}-{:?}.dump",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        ring.dump_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("bp-flight dump v1"), "{text}");
+        assert!(text.contains("m7"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,383 @@
+//! A dependency-free HTTP/1.1 server for observability endpoints.
+//!
+//! Just enough of RFC 9112 for a metrics/health surface: `GET` requests
+//! parsed off a std [`TcpListener`], one response per connection
+//! (`Connection: close`), thread-per-connection handling with short read
+//! timeouts so a stalled scraper cannot wedge the daemon. No TLS, no
+//! keep-alive, no bodies on requests — scrape endpoints need none of them,
+//! and the workspace takes no external dependencies.
+//!
+//! The accept loop polls a shutdown flag every [`ACCEPT_POLL`] so the
+//! owning daemon can stop the server promptly on SIGTERM.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop checks the shutdown flag.
+pub const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Maximum accepted request head (request line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/metrics`).
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response to write back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain; version=0.0.4` response (the Prometheus text type).
+    pub fn metrics_text(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with an arbitrary status.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard 404.
+    pub fn not_found() -> Response {
+        Response::text(404, "not found\n")
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+/// Parses one request head from `reader`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the malformation.
+fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
+    let mut line = String::new();
+    let mut read_line = |line: &mut String, budget: &mut usize| -> Result<(), String> {
+        line.clear();
+        let n = reader
+            .read_line(line)
+            .map_err(|e| format!("read error: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_owned());
+        }
+        *budget = budget
+            .checked_sub(n)
+            .ok_or_else(|| "request head too large".to_owned())?;
+        Ok(())
+    };
+    let mut budget = MAX_HEAD_BYTES;
+    read_line(&mut line, &mut budget)?;
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "empty request line".to_owned())?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| "request line missing target".to_owned())?;
+    let version = parts
+        .next()
+        .ok_or_else(|| "request line missing version".to_owned())?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    let mut headers = Vec::new();
+    loop {
+        read_line(&mut line, &mut budget)?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+    })
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Response) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    })
+    .take(MAX_HEAD_BYTES as u64 * 2);
+    let response = match parse_request(&mut reader) {
+        Ok(request) if request.method == "GET" || request.method == "HEAD" => handler(&request),
+        Ok(request) => Response::text(405, format!("method {} not allowed\n", request.method)),
+        Err(reason) => Response::text(400, format!("bad request: {reason}\n")),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// A handle for stopping a running [`Server`] from another thread.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Asks the accept loop to exit (takes effect within [`ACCEPT_POLL`]).
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A minimal HTTP/1.1 server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after `bind(":0")`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops [`Server::serve`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Accepts connections until shutdown, answering each request with
+    /// `handler` on its own thread. Blocks the calling thread.
+    pub fn serve<F>(self, handler: F)
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let handler = Arc::clone(&handler);
+                    workers.push(std::thread::spawn(move || {
+                        handle_connection(stream, handler.as_ref());
+                    }));
+                    workers.retain(|w| !w.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        // Drain in-flight connections before returning so the caller can
+        // safely tear down state the handler borrows.
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Raw-socket GET against a local server; returns (status, body).
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw.split_once("\r\n\r\n").map(|x| x.1).unwrap_or("");
+        (status, body.to_owned())
+    }
+
+    fn spawn_echo_server() -> (SocketAddr, ShutdownHandle) {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        std::thread::spawn(move || {
+            server.serve(|req| match req.path.as_str() {
+                "/echo" => {
+                    Response::text(200, format!("{} {} {}", req.method, req.path, req.query))
+                }
+                "/ua" => Response::text(200, req.header("user-agent").unwrap_or("-").to_owned()),
+                _ => Response::not_found(),
+            });
+        });
+        (addr, shutdown)
+    }
+
+    #[test]
+    fn serves_parses_and_routes() {
+        let (addr, shutdown) = spawn_echo_server();
+        let (status, body) = get(addr, "/echo?q=1");
+        assert_eq!(status, 200);
+        assert_eq!(body, "GET /echo q=1");
+        let (status, _) = get(addr, "/missing");
+        assert_eq!(status, 404);
+        shutdown.shutdown();
+    }
+
+    #[test]
+    fn headers_are_lowercased_and_reachable() {
+        let (addr, shutdown) = spawn_echo_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /ua HTTP/1.1\r\nUser-Agent: bp-test\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.ends_with("bp-test"), "{raw}");
+        shutdown.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let (addr, shutdown) = spawn_echo_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /echo HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        shutdown.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_the_accept_loop() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let shutdown = server.shutdown_handle();
+        let joiner = std::thread::spawn(move || server.serve(|_| Response::not_found()));
+        shutdown.shutdown();
+        assert!(shutdown.is_shutdown());
+        joiner.join().unwrap();
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let (addr, shutdown) = spawn_echo_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /echo HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        let declared: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(declared, body.len());
+        shutdown.shutdown();
+    }
+}

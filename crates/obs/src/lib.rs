@@ -18,6 +18,14 @@
 //! * [`expo`] — Prometheus-style text and JSON exposition, plus a
 //!   round-trippable snapshot format so one CLI invocation's metrics can
 //!   be merged into a later one's report.
+//! * [`log`] — structured leveled JSON-lines logging with env-style
+//!   filtering; accepted events also land in the [`flight`] recorder.
+//! * [`flight`] — a ring buffer of the last ~4k log/span events, dumped on
+//!   panic, `SIGUSR1`, or `/debug/flightz`.
+//! * [`slo`] — error-budget tracking with multi-window burn-rate rules
+//!   over the paper's 200 ms query deadline.
+//! * [`httpx`] — a dependency-free HTTP/1.1 server for the `serve`
+//!   daemon's `/metrics`, `/healthz`, and debug endpoints.
 //! * [`ClockHandle`] — a mockable monotonic clock behind every latency
 //!   measurement.
 //!
@@ -29,14 +37,19 @@
 
 pub mod clock;
 pub mod expo;
+pub mod flight;
+pub mod httpx;
 mod journal;
 pub mod json;
+pub mod log;
 mod metrics;
 pub mod profile;
+pub mod slo;
 pub mod trace;
 
 pub use clock::{unix_time_ms, Clock, ClockHandle, MockClock, RealClock, Stopwatch};
 pub use journal::{Journal, JournalEvent, Level};
+pub use log::{LogEvent, LogLevel};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
     RegistrySnapshot, HISTOGRAM_BUCKETS,

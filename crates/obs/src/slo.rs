@@ -1,0 +1,355 @@
+//! An in-process SLO engine: error budgets and multi-window burn rates.
+//!
+//! The paper's operational claim is a 200 ms interactive bound on
+//! provenance queries. This module tracks that bound as a *service level
+//! objective* — "≥ 99% of deadline-classified queries hit the deadline" —
+//! and evaluates Google-SRE-style multi-window burn-rate rules over it,
+//! entirely in-process (no external alerting stack):
+//!
+//! * every finished query records one good/bad sample into per-second
+//!   buckets ([`SloEngine::record`]);
+//! * a periodic [`SloEngine::evaluate`] computes the burn rate — observed
+//!   miss fraction divided by the error budget — over a short (5 m) and a
+//!   long (1 h) window, publishes both as `bp_slo_burn_rate.*` gauges (in
+//!   thousandths, since gauges are integers), and fires a latched alert on
+//!   the rising edge of the fast-burn rule (both windows ≥ threshold).
+//!
+//! A burn rate of 1.0 (gauge value 1000) means the error budget is being
+//! consumed exactly as fast as it accrues; 14.4 — the classic fast-burn
+//! page threshold — exhausts a 30-day budget in ~2 days. Time comes from a
+//! [`ClockHandle`], so tests drive whole windows with a mock clock and
+//! assert the rule trips exactly once per burn episode (the latch resets
+//! only after the rule clears). See EXPERIMENTS.md E9.
+
+use crate::clock::ClockHandle;
+use crate::log;
+use crate::{Level, Obs};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Configuration for one [`SloEngine`].
+#[derive(Clone, Debug)]
+pub struct SloConfig {
+    /// Fraction of samples that must be good (default `0.99`).
+    pub objective: f64,
+    /// Short evaluation window (default 5 minutes).
+    pub short_window: Duration,
+    /// Long evaluation window (default 1 hour).
+    pub long_window: Duration,
+    /// Burn-rate threshold of the fast rule (default `14.4`).
+    pub fast_burn_threshold: f64,
+    /// Minimum samples in the short window before the rule may fire
+    /// (default 10) — a single early miss is noise, not an incident.
+    pub min_samples: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            objective: 0.99,
+            short_window: Duration::from_secs(5 * 60),
+            long_window: Duration::from_secs(60 * 60),
+            fast_burn_threshold: 14.4,
+            min_samples: 10,
+        }
+    }
+}
+
+/// One evaluation's readout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloStatus {
+    /// Burn rate over the short window.
+    pub short_burn: f64,
+    /// Burn rate over the long window.
+    pub long_burn: f64,
+    /// Samples inside the short window.
+    pub short_samples: u64,
+    /// Whether the fast-burn rule is currently firing (latched).
+    pub firing: bool,
+    /// Alerts fired since the engine started.
+    pub alerts: u64,
+}
+
+/// One per-second sample bucket.
+#[derive(Clone, Copy, Debug, Default)]
+struct Bucket {
+    second: u64,
+    good: u64,
+    bad: u64,
+}
+
+struct Inner {
+    buckets: Vec<Bucket>,
+    firing: bool,
+    alerts: u64,
+}
+
+/// The engine. Cheap to record into (one mutex over a fixed array); meant
+/// to be evaluated on a ~1 s cadence by the owning daemon.
+pub struct SloEngine {
+    obs: Obs,
+    clock: ClockHandle,
+    config: SloConfig,
+    short_gauge: &'static str,
+    long_gauge: &'static str,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// Renders a window length for gauge names (`300s` → `5m`, `3600s` → `1h`).
+fn window_label(window: Duration) -> String {
+    let secs = window.as_secs().max(1);
+    if secs.is_multiple_of(3600) {
+        format!("{}h", secs / 3600)
+    } else if secs.is_multiple_of(60) {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+impl SloEngine {
+    /// Builds an engine reporting into `obs`, timed by `clock`.
+    pub fn new(obs: Obs, clock: ClockHandle, config: SloConfig) -> SloEngine {
+        // Gauge names are interned once so evaluate() stays allocation-free
+        // on the registry side; the leak is two short strings per engine.
+        let short_gauge: &'static str =
+            Box::leak(format!("bp_slo_burn_rate.{}", window_label(config.short_window)).into());
+        let long_gauge: &'static str =
+            Box::leak(format!("bp_slo_burn_rate.{}", window_label(config.long_window)).into());
+        let capacity = config.long_window.as_secs().max(60) as usize;
+        SloEngine {
+            obs,
+            clock,
+            config,
+            short_gauge,
+            long_gauge,
+            inner: Mutex::new(Inner {
+                buckets: vec![Bucket::default(); capacity],
+                firing: false,
+                alerts: 0,
+            }),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one sample: `good` means the query met its deadline.
+    pub fn record(&self, good: bool) {
+        let second = self.clock.now_micros() / 1_000_000;
+        let mut inner = self.inner.lock();
+        let len = inner.buckets.len() as u64;
+        let bucket = &mut inner.buckets[(second % len) as usize];
+        if bucket.second != second {
+            *bucket = Bucket {
+                second,
+                good: 0,
+                bad: 0,
+            };
+        }
+        if good {
+            bucket.good += 1;
+        } else {
+            bucket.bad += 1;
+        }
+        self.obs.counter("bp_slo_samples_total").inc();
+        if !good {
+            self.obs.counter("bp_slo_misses_total").inc();
+        }
+    }
+
+    /// Sums `(good, bad)` over the trailing `window` ending at `now_sec`.
+    fn window_totals(inner: &Inner, now_sec: u64, window: Duration) -> (u64, u64) {
+        let span = window.as_secs().max(1);
+        let oldest = now_sec.saturating_sub(span - 1);
+        let mut good = 0;
+        let mut bad = 0;
+        for bucket in &inner.buckets {
+            if bucket.second >= oldest && bucket.second <= now_sec && (bucket.good | bucket.bad) > 0
+            {
+                good += bucket.good;
+                bad += bucket.bad;
+            }
+        }
+        (good, bad)
+    }
+
+    fn burn(&self, good: u64, bad: u64) -> f64 {
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - self.config.objective).max(1e-9);
+        (bad as f64 / total as f64) / budget
+    }
+
+    /// Evaluates both windows, publishes the burn gauges, and fires the
+    /// fast-burn alert on its rising edge (journal + log event +
+    /// `bp_slo_alerts_total`). Returns the readout.
+    pub fn evaluate(&self) -> SloStatus {
+        let now_sec = self.clock.now_micros() / 1_000_000;
+        let mut inner = self.inner.lock();
+        let (short_good, short_bad) =
+            Self::window_totals(&inner, now_sec, self.config.short_window);
+        let (long_good, long_bad) = Self::window_totals(&inner, now_sec, self.config.long_window);
+        let short_burn = self.burn(short_good, short_bad);
+        let long_burn = self.burn(long_good, long_bad);
+        let short_samples = short_good + short_bad;
+
+        self.obs
+            .gauge(self.short_gauge)
+            .set((short_burn * 1000.0) as i64);
+        self.obs
+            .gauge(self.long_gauge)
+            .set((long_burn * 1000.0) as i64);
+
+        let condition = short_samples >= self.config.min_samples
+            && short_burn >= self.config.fast_burn_threshold
+            && long_burn >= self.config.fast_burn_threshold;
+        if condition && !inner.firing {
+            inner.firing = true;
+            inner.alerts += 1;
+            self.obs.counter("bp_slo_alerts_total").inc();
+            let message = format!(
+                "SLO fast burn: burn rate {short_burn:.1}x over {} / {long_burn:.1}x over {} \
+                 (threshold {}x) — the {}% objective is burning its error budget",
+                window_label(self.config.short_window),
+                window_label(self.config.long_window),
+                self.config.fast_burn_threshold,
+                self.config.objective * 100.0,
+            );
+            self.obs.journal().record(Level::Error, message.clone());
+            log::error(
+                "bp_obs::slo",
+                &message,
+                &[
+                    ("short_burn", format!("{short_burn:.3}")),
+                    ("long_burn", format!("{long_burn:.3}")),
+                ],
+            );
+        } else if !condition && inner.firing {
+            inner.firing = false;
+            log::info(
+                "bp_obs::slo",
+                "SLO fast burn cleared",
+                &[("short_burn", format!("{short_burn:.3}"))],
+            );
+        }
+        SloStatus {
+            short_burn,
+            long_burn,
+            short_samples,
+            firing: inner.firing,
+            alerts: inner.alerts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> (SloEngine, std::sync::Arc<crate::MockClock>, Obs) {
+        let (clock, mock) = ClockHandle::mock();
+        let obs = Obs::isolated();
+        (
+            SloEngine::new(obs.clone(), clock, SloConfig::default()),
+            mock,
+            obs,
+        )
+    }
+
+    #[test]
+    fn window_labels() {
+        assert_eq!(window_label(Duration::from_secs(300)), "5m");
+        assert_eq!(window_label(Duration::from_secs(3600)), "1h");
+        assert_eq!(window_label(Duration::from_secs(90)), "90s");
+    }
+
+    #[test]
+    fn healthy_traffic_never_fires() {
+        let (engine, mock, obs) = engine();
+        for _ in 0..300 {
+            mock.advance(Duration::from_secs(1));
+            for _ in 0..5 {
+                engine.record(true);
+            }
+            let status = engine.evaluate();
+            assert!(!status.firing);
+        }
+        assert_eq!(obs.counter("bp_slo_alerts_total").get(), 0);
+        assert_eq!(obs.gauge("bp_slo_burn_rate.5m").get(), 0);
+    }
+
+    #[test]
+    fn sustained_misses_trip_the_fast_rule_exactly_once() {
+        let (engine, mock, obs) = engine();
+        // 60 s of pure misses: burn = (1.0 miss fraction) / 0.01 budget =
+        // 100x in both windows — far past 14.4.
+        let mut alerts_seen = 0;
+        for _ in 0..60 {
+            mock.advance(Duration::from_secs(1));
+            engine.record(false);
+            let status = engine.evaluate();
+            if status.firing {
+                alerts_seen = status.alerts;
+            }
+        }
+        assert_eq!(alerts_seen, 1, "latch must fire exactly once");
+        assert_eq!(obs.counter("bp_slo_alerts_total").get(), 1);
+        assert!(obs.gauge("bp_slo_burn_rate.5m").get() >= 14_400);
+        assert!(obs.gauge("bp_slo_burn_rate.1h").get() >= 14_400);
+        // The alert reached the journal and the flight recorder.
+        let journal = obs.journal().events();
+        assert!(
+            journal.iter().any(|e| e.message.contains("SLO fast burn")),
+            "{journal:?}"
+        );
+    }
+
+    #[test]
+    fn latch_resets_after_recovery_and_can_refire() {
+        let (engine, mock, obs) = engine();
+        for _ in 0..30 {
+            mock.advance(Duration::from_secs(1));
+            engine.record(false);
+            engine.evaluate();
+        }
+        assert_eq!(obs.counter("bp_slo_alerts_total").get(), 1);
+        // Long quiet recovery: both windows age the misses out.
+        mock.advance(Duration::from_secs(2 * 3600));
+        for _ in 0..60 {
+            mock.advance(Duration::from_secs(1));
+            engine.record(true);
+            let status = engine.evaluate();
+            assert!(!status.firing, "rule must clear after recovery");
+        }
+        // A second burn episode fires a second alert.
+        for _ in 0..30 {
+            mock.advance(Duration::from_secs(1));
+            engine.record(false);
+            engine.evaluate();
+        }
+        assert_eq!(obs.counter("bp_slo_alerts_total").get(), 2);
+    }
+
+    #[test]
+    fn min_samples_suppresses_early_noise() {
+        let (engine, mock, _obs) = engine();
+        mock.advance(Duration::from_secs(1));
+        engine.record(false);
+        let status = engine.evaluate();
+        assert!(status.short_burn > 14.4, "one miss is a 100x burn rate");
+        assert!(!status.firing, "but too few samples to page on");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for Prometheus label-value escaping: hostile values
+//! (backslashes, quotes, newlines, arbitrary UTF-8) must round-trip
+//! through the text exposition format without loss, and a rendered sample
+//! line must always stay one line that a spec-faithful parser can take
+//! apart again.
+
+use bp_obs::expo::{escape_label_value, render_labeled_sample};
+use proptest::prelude::*;
+
+/// Inverse of `escape_label_value`, written against the exposition spec
+/// (not against the implementation): `\\` → `\`, `\"` → `"`, `\n` → LF.
+fn unescape_label_value(escaped: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            if c == '"' || c == '\n' {
+                return Err(format!("unescaped {c:?} in label value"));
+            }
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("dangling escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed exposition sample: metric name, label pairs, value.
+type ParsedSample = (String, Vec<(String, String)>, i64);
+
+/// Parses `name{k="v",…} value\n` back apart. Walks the quoted strings
+/// respecting escapes, so embedded `,`/`}`/`"` in values do not confuse
+/// it.
+fn parse_sample_line(line: &str) -> Result<ParsedSample, String> {
+    let line = line.strip_suffix('\n').ok_or("missing newline")?;
+    let (head, value) = line.rsplit_once(' ').ok_or("missing value")?;
+    let value: i64 = value.parse().map_err(|e| format!("bad value: {e}"))?;
+    let Some(brace) = head.find('{') else {
+        return Ok((head.to_owned(), Vec::new(), value));
+    };
+    let name = head[..brace].to_owned();
+    let labels_raw = head[brace + 1..]
+        .strip_suffix('}')
+        .ok_or("unterminated label set")?;
+    let mut labels = Vec::new();
+    let mut rest = labels_raw;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").ok_or("missing =\" in label")?;
+        let key = rest[..eq].to_owned();
+        // Scan to the closing quote, skipping escape pairs. Escapes are
+        // all-ASCII, so byte stepping lands on char boundaries.
+        let bytes = rest.as_bytes();
+        let mut i = eq + 2;
+        let mut end = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, unescape_label_value(&rest[eq + 2..end])?));
+        let tail = &rest[end + 1..];
+        rest = tail.strip_prefix(',').unwrap_or(tail);
+    }
+    Ok((name, labels, value))
+}
+
+proptest! {
+    /// Escaping is lossless over the printable/multibyte alphabet: any
+    /// string survives escape → unescape.
+    #[test]
+    fn escape_round_trips(value in ".{0,40}") {
+        let escaped = escape_label_value(&value);
+        prop_assert_eq!(unescape_label_value(&escaped).unwrap(), value);
+    }
+
+    /// Explicitly hostile alphabet: dense mixes of backslash, quote, and
+    /// literal newline (the three characters the spec escapes), including
+    /// consecutive backslashes and trailing backslashes.
+    #[test]
+    fn hostile_values_round_trip(value in "[\\\"\nab]{0,40}") {
+        let escaped = escape_label_value(&value);
+        prop_assert_eq!(unescape_label_value(&escaped).unwrap(), value);
+    }
+
+    /// A rendered sample stays exactly one terminated line, and a
+    /// spec-faithful parser recovers every label value byte-for-byte.
+    #[test]
+    fn rendered_samples_parse_back(
+        a in "[\\\"\na-z ]{0,20}",
+        b in ".{0,20}",
+        value in any::<i64>(),
+    ) {
+        let line = render_labeled_sample(
+            "bp_build_info",
+            &[("alpha", a.as_str()), ("beta", b.as_str())],
+            value,
+        );
+        prop_assert_eq!(line.matches('\n').count(), 1, "{:?}", line);
+        prop_assert!(line.ends_with('\n'));
+        let (name, labels, got) = parse_sample_line(&line).unwrap();
+        prop_assert_eq!(name, "bp_build_info");
+        prop_assert_eq!(got, value);
+        prop_assert_eq!(labels[0].clone(), ("alpha".to_owned(), a));
+        prop_assert_eq!(labels[1].clone(), ("beta".to_owned(), b));
+    }
+}
+
+/// The exact examples from the exposition-format documentation.
+#[test]
+fn spec_examples() {
+    assert_eq!(escape_label_value(r"\ and \\"), r"\\ and \\\\");
+    assert_eq!(escape_label_value("\"quoted\""), "\\\"quoted\\\"");
+    assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+    let (_, labels, _) =
+        parse_sample_line("m{path=\"C:\\\\tmp\\\"x\\n\"} 1\n").expect("spec line parses");
+    assert_eq!(labels[0].1, "C:\\tmp\"x\n");
+}

@@ -86,6 +86,15 @@ pub(crate) fn observe(
             Level::Warn,
             format!("query.{use_case} exceeded its {deadline:?} deadline (took {elapsed:?})"),
         );
+        bp_obs::log::warn(
+            "bp_query::slo",
+            "query exceeded its deadline",
+            &[
+                ("use_case", use_case.to_owned()),
+                ("deadline", format!("{deadline:?}")),
+                ("elapsed", format!("{elapsed:?}")),
+            ],
+        );
     }
 }
 

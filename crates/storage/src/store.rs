@@ -194,6 +194,11 @@ impl ProvenanceStore {
                 Level::Warn,
                 "torn tail truncated on log open (crash mid-append); committed history intact",
             );
+            bp_obs::log::warn(
+                "bp_storage::store",
+                "torn tail truncated on log open; committed history intact",
+                &[],
+            );
         }
         if !contents.frames.is_empty() {
             self.obs
@@ -207,6 +212,15 @@ impl ProvenanceStore {
                     self.graph.node_count(),
                     self.graph.edge_count()
                 ),
+            );
+            bp_obs::log::info(
+                "bp_storage::store",
+                "write-ahead log recovered",
+                &[
+                    ("frames", contents.frames.len().to_string()),
+                    ("nodes", self.graph.node_count().to_string()),
+                    ("edges", self.graph.edge_count().to_string()),
+                ],
             );
         }
         Ok(())
@@ -590,6 +604,12 @@ impl ProvenanceStore {
                 Level::Warn,
                 format!("redaction scrubbed {} history objects", nodes.len()),
             );
+            // Same privacy rule as the journal entry: count only, no key.
+            bp_obs::log::warn(
+                "bp_storage::store",
+                "redaction scrubbed history objects",
+                &[("objects", nodes.len().to_string())],
+            );
         }
         Ok(nodes)
     }
@@ -743,6 +763,16 @@ impl ProvenanceStore {
                 "compaction wrote {} snapshot bytes ({} nodes, {} edges) in {elapsed:?}; log reset",
                 report.snapshot_bytes, report.node_count, report.edge_count
             ),
+        );
+        bp_obs::log::info(
+            "bp_storage::store",
+            "compaction complete; log reset",
+            &[
+                ("snapshot_bytes", report.snapshot_bytes.to_string()),
+                ("nodes", report.node_count.to_string()),
+                ("edges", report.edge_count.to_string()),
+                ("elapsed", format!("{elapsed:?}")),
+            ],
         );
         Ok(())
     }

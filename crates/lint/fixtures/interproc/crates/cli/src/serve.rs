@@ -1,0 +1,23 @@
+//! Fixture: inverted nested lock acquisition (L008).
+//!
+//! `render` takes traces → profiles; `snapshot` takes profiles → traces.
+//! Run concurrently, each can hold the lock the other wants.
+
+pub struct Daemon {
+    traces: Ring,
+    profiles: Ring,
+}
+
+impl Daemon {
+    pub fn render(&self) -> Page {
+        let traces = self.traces.lock();
+        let profiles = self.profiles.lock();
+        draw(traces, profiles)
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        let profiles = self.profiles.lock();
+        let traces = self.traces.lock();
+        pack(profiles, traces)
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: metric emissions cross-checked against METRICS.registry
+//! (L010). One name matches the registry; one is a typo (`_totl`), which
+//! both flags the emit site and strands the intended registry entry as
+//! dead.
+
+pub fn note_batch(obs: &Obs, events: u64) {
+    obs.counter("ingest.events_total").add(events);
+    obs.counter("ingest.frames_totl").add(1);
+}

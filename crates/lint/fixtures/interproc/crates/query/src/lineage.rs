@@ -1,0 +1,17 @@
+//! Fixture: a deadline-free graph walk below a query entry point (L009).
+//!
+//! The entry point itself contains no loop, so the file-local L005 check
+//! cannot see the problem: the unbounded walk hides one call down, in a
+//! private helper that neither takes nor constructs a deadline.
+
+pub fn ancestry(browser: &ProvenanceBrowser, node: NodeId) -> Ancestry {
+    collect_up(browser, node)
+}
+
+fn collect_up(browser: &ProvenanceBrowser, node: NodeId) -> Ancestry {
+    let mut out = Ancestry::new();
+    for (eid, parent) in browser.graph().parents(node) {
+        out.push(eid, parent);
+    }
+    out
+}

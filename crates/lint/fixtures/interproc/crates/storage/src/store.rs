@@ -1,0 +1,30 @@
+//! Fixture: one WAL-guarded mutation path and one seeded bypass (L007).
+//!
+//! `add_node` → `commit` appends a frame alongside the structural change,
+//! so it is clean. `touch_title` → `annotate` mutates the graph with no
+//! append anywhere on the path — the provenance-completeness hole L007
+//! exists to catch.
+
+pub struct ProvenanceStore {
+    graph: Graph,
+    wal: Wal,
+}
+
+impl ProvenanceStore {
+    pub fn add_node(&mut self, op: Op) {
+        self.commit(op);
+    }
+
+    fn commit(&mut self, op: Op) {
+        self.graph.add_node(op);
+        self.wal.append(frame(op));
+    }
+
+    pub fn touch_title(&mut self, id: NodeId, title: Title) {
+        self.annotate(id, title);
+    }
+
+    fn annotate(&mut self, id: NodeId, title: Title) {
+        self.graph.node_mut(id);
+    }
+}

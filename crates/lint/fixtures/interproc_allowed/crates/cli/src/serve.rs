@@ -1,0 +1,23 @@
+//! Fixture: the inverted lock pair, allowlisted on both edges of the
+//! cycle (L008).
+
+pub struct Daemon {
+    traces: Ring,
+    profiles: Ring,
+}
+
+impl Daemon {
+    pub fn render(&self) -> Page {
+        let traces = self.traces.lock();
+        // bp-lint: allow(L008): fixture — render runs only on the single UI thread
+        let profiles = self.profiles.lock();
+        draw(traces, profiles)
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        let profiles = self.profiles.lock();
+        // bp-lint: allow(L008): fixture — snapshot runs only on the single UI thread
+        let traces = self.traces.lock();
+        pack(profiles, traces)
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: the misspelled metric emission, allowlisted (L010). The
+//! registry lists only the matching name so no dead entry remains.
+
+pub fn note_batch(obs: &Obs, events: u64) {
+    obs.counter("ingest.events_total").add(events);
+    // bp-lint: allow(L010): fixture — legacy dashboard still charts the misspelled series
+    obs.counter("ingest.frames_totl").add(1);
+}

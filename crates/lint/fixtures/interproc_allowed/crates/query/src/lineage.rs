@@ -1,0 +1,14 @@
+//! Fixture: the deadline-free graph walk, allowlisted (L009).
+
+pub fn ancestry(browser: &ProvenanceBrowser, node: NodeId) -> Ancestry {
+    collect_up(browser, node)
+}
+
+fn collect_up(browser: &ProvenanceBrowser, node: NodeId) -> Ancestry {
+    let mut out = Ancestry::new();
+    // bp-lint: allow(L009): fixture — parent fan-in is capped at ingest time
+    for (eid, parent) in browser.graph().parents(node) {
+        out.push(eid, parent);
+    }
+    out
+}

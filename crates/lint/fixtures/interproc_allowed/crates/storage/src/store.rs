@@ -1,0 +1,27 @@
+//! Fixture: the interproc tree with every finding allowlisted — the same
+//! seeded L007 bypass, but with a reasoned directive on the mutation.
+
+pub struct ProvenanceStore {
+    graph: Graph,
+    wal: Wal,
+}
+
+impl ProvenanceStore {
+    pub fn add_node(&mut self, op: Op) {
+        self.commit(op);
+    }
+
+    fn commit(&mut self, op: Op) {
+        self.graph.add_node(op);
+        self.wal.append(frame(op));
+    }
+
+    pub fn touch_title(&mut self, id: NodeId, title: Title) {
+        self.annotate(id, title);
+    }
+
+    fn annotate(&mut self, id: NodeId, title: Title) {
+        // bp-lint: allow(L007): fixture — title cache is rebuilt from the WAL on recovery
+        self.graph.node_mut(id);
+    }
+}

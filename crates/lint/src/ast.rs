@@ -1,0 +1,244 @@
+//! The AST for bp-lint's interprocedural tier.
+//!
+//! This is a deliberately partial model of Rust: exactly the shapes the
+//! whole-program rules (L007–L010) reason about — items, function
+//! signatures, blocks, calls, method calls, field accesses, loops, string
+//! literals, and macro invocations. Everything else parses into opaque
+//! [`Expr::Group`]/[`Item::Other`] nodes so the interesting structure is
+//! never hidden behind syntax the parser does not model. See DESIGN.md
+//! ("bp-lint v2") for the soundness limits this implies.
+
+/// A byte range in the source file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Span {
+    /// First byte.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering both inputs.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct AstFile {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level or nested item.
+#[derive(Debug)]
+pub enum Item {
+    /// A function (free, method, or associated).
+    Fn(FnItem),
+    /// An `impl` block; its functions are methods/associated functions of
+    /// `type_name`.
+    Impl(ImplItem),
+    /// An inline module (`mod name { … }`).
+    Mod(ModItem),
+    /// Anything else (struct, enum, use, const, trait, …) — recorded so
+    /// item counting stays honest, otherwise opaque.
+    Other,
+}
+
+/// An `impl` block.
+#[derive(Debug)]
+pub struct ImplItem {
+    /// The self type's final path segment (`ProvenanceStore` for
+    /// `impl ProvenanceStore`, `Wal` for `impl fmt::Debug for Wal`).
+    pub type_name: String,
+    /// The trait being implemented, if any (final segment).
+    pub trait_name: Option<String>,
+    /// Items inside the block (functions, nested consts → `Other`).
+    pub items: Vec<Item>,
+}
+
+/// An inline `mod` block.
+#[derive(Debug)]
+pub struct ModItem {
+    /// Module name.
+    pub name: String,
+    /// Whether the module carries `#[cfg(test)]`.
+    pub cfg_test: bool,
+    /// Items inside.
+    pub items: Vec<Item>,
+}
+
+/// A function item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Whether any visibility modifier precedes it.
+    pub is_pub: bool,
+    /// Whether `#[test]` (or `#[cfg(test)]` on the fn itself) decorates it.
+    pub is_test: bool,
+    /// Parameters in order; a `self` receiver appears as
+    /// `("self", "Self")`.
+    pub params: Vec<Param>,
+    /// Body, absent for declarations (traits, extern blocks).
+    pub body: Option<Block>,
+    /// Span of the `fn` keyword (diagnostic anchor).
+    pub span: Span,
+}
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (first identifier of the pattern).
+    pub name: String,
+    /// Type as raw source text with single-space token joins.
+    pub ty: String,
+}
+
+/// A brace-delimited block.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Expression soup in source order.
+    pub exprs: Vec<Expr>,
+    /// Span including the braces.
+    pub span: Span,
+}
+
+/// Loop flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for pat in iter { … }`
+    For,
+    /// `while cond { … }` (including `while let`)
+    While,
+    /// `loop { … }`
+    Loop,
+}
+
+/// An expression — or, for shapes the parser does not model, a container
+/// of child expressions in source order.
+#[derive(Debug)]
+pub enum Expr {
+    /// A (possibly qualified) path: `foo`, `self`, `crate::slo::Deadline`.
+    Path {
+        /// Path segments (turbofish generics dropped).
+        segs: Vec<String>,
+        /// Source span.
+        span: Span,
+    },
+    /// A string literal with its cooked value (quotes and prefixes
+    /// stripped, escapes left as written — rule matching is on plain
+    /// names that contain none).
+    StrLit {
+        /// Literal contents.
+        value: String,
+        /// Source span.
+        span: Span,
+    },
+    /// A call through a callee expression: `foo(…)`, `Type::new(…)`.
+    Call {
+        /// The callee (usually a `Path`).
+        callee: Box<Expr>,
+        /// Arguments in order.
+        args: Vec<Expr>,
+        /// Span of the whole call.
+        span: Span,
+    },
+    /// A method call: `recv.name(…)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments in order (receiver excluded).
+        args: Vec<Expr>,
+        /// Span of the whole call.
+        span: Span,
+    },
+    /// A field access: `base.name` (also tuple indices: `pair.0`).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source span.
+        span: Span,
+    },
+    /// A macro invocation: `name!(…)` — inner tokens parsed as soup so
+    /// calls inside `format!`/`write!` arguments are still seen.
+    Macro {
+        /// Macro name (final path segment).
+        name: String,
+        /// Inner expression soup.
+        args: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// A `for`/`while`/`loop` with its body.
+    Loop {
+        /// Which loop keyword.
+        kind: LoopKind,
+        /// Header soup (`pat in iter` / condition); empty for `loop`.
+        header: Vec<Expr>,
+        /// The loop body.
+        body: Block,
+        /// Span of the loop keyword.
+        span: Span,
+    },
+    /// A nested block (`{ … }`, `if`/`match`/`unsafe` bodies all surface
+    /// here).
+    Block(Block),
+    /// Parenthesized / otherwise-unmodeled syntax with visible children.
+    Group {
+        /// Child expressions in source order.
+        exprs: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// This expression's span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Path { span, .. }
+            | Expr::StrLit { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::MethodCall { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Macro { span, .. }
+            | Expr::Loop { span, .. }
+            | Expr::Group { span, .. } => *span,
+            Expr::Block(b) => b.span,
+        }
+    }
+
+    /// Renders a pure path/field chain (`self.graph`, `state.shared`) as a
+    /// dotted string; non-chain bases render as `_` so `logger().filter`
+    /// becomes `_.filter`.
+    pub fn chain(&self) -> Option<String> {
+        match self {
+            Expr::Path { segs, .. } => Some(segs.join("::")),
+            Expr::Field { base, name, .. } => {
+                let head = base.chain().unwrap_or_else(|| "_".to_owned());
+                Some(format!("{head}.{name}"))
+            }
+            Expr::Call { .. } | Expr::MethodCall { .. } => Some("_".to_owned()),
+            _ => None,
+        }
+    }
+
+    /// Final identifier of a path/field chain (`graph` for `self.graph`,
+    /// `counters` for `&self.counters` after the parser drops the `&`).
+    pub fn last_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Path { segs, .. } => segs.last().map(String::as_str),
+            Expr::Field { name, .. } => Some(name.as_str()),
+            _ => None,
+        }
+    }
+}

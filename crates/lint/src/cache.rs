@@ -1,0 +1,507 @@
+//! Content-hash incremental cache.
+//!
+//! Per-file analysis (token rules + directives + the interprocedural
+//! fact summary) is pure in the file's contents, so warm runs can skip
+//! re-lexing/re-parsing files whose FNV-1a hash is unchanged. The cache
+//! is a line-oriented text file under `<root>/target/bp-lint/cache`
+//! keyed by a rules fingerprint — any rule-set change invalidates the
+//! whole cache. Global rules (L007–L010) always re-run over the cached
+//! summaries; only the per-file tier is memoized. Any parse hiccup
+//! silently yields an empty cache: the cache is a pure accelerator,
+//! never a source of truth.
+
+use crate::diag::{Directive, Severity, Violation};
+use crate::symbols::{CallFact, FileSummary, FnSummary};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Cached result of per-file analysis.
+#[derive(Debug, Clone, Default)]
+pub struct CachedFile {
+    /// FNV-1a hash of the file contents.
+    pub hash: u64,
+    /// Raw (pre-suppression) token-rule violations, including L000.
+    pub raw: Vec<Violation>,
+    /// Allowlist directives (valid ones, with reasons).
+    pub directives: Vec<Directive>,
+    /// The interprocedural fact summary.
+    pub summary: FileSummary,
+}
+
+/// An in-memory cache, keyed by workspace-relative path.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: HashMap<String, CachedFile>,
+}
+
+impl Cache {
+    /// A hit for `path` with matching contents hash, if present.
+    pub fn get(&self, path: &str, hash: u64) -> Option<&CachedFile> {
+        self.entries.get(path).filter(|e| e.hash == hash)
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// FNV-1a over the source bytes.
+pub fn hash_src(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache file location for a workspace root.
+pub fn cache_path(root: &Path) -> std::path::PathBuf {
+    root.join("target").join("bp-lint").join("cache")
+}
+
+/// Interns a rule id back to its `&'static str` form; unknown ids make
+/// the cache entry unusable (rule set changed under us).
+fn static_rule_id(id: &str) -> Option<&'static str> {
+    const IDS: &[&str] = &[
+        "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+    ];
+    IDS.iter().find(|r| **r == id).copied()
+}
+
+// ----- field escaping ---------------------------------------------------
+
+/// Escapes a free-text field so it survives the tab/newline/list framing.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '|' => out.push_str("%7C"),
+            ',' => out.push_str("%2C"),
+            '=' => out.push_str("%3D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'%' && i + 2 < b.len() {
+            let hex = &s[i + 1..i + 3];
+            if let Ok(v) = u8::from_str_radix(hex, 16) {
+                out.push(v as char);
+                i += 3;
+                continue;
+            }
+        }
+        // Multi-byte UTF-8 passes through untouched (never starts with %).
+        let ch_len = utf8_len(b[i]);
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn list_pairs_str(pairs: &[(usize, String)]) -> String {
+    if pairs.is_empty() {
+        return "-".to_string();
+    }
+    pairs
+        .iter()
+        .map(|(p, v)| format!("{p}={}", esc(v)))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn list_pairs_usize(pairs: &[(usize, usize)]) -> String {
+    if pairs.is_empty() {
+        return "-".to_string();
+    }
+    pairs
+        .iter()
+        .map(|(p, v)| format!("{p}={v}"))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn parse_pairs_str(s: &str) -> Option<Vec<(usize, String)>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split('|')
+        .map(|item| {
+            let (p, v) = item.split_once('=')?;
+            Some((p.parse().ok()?, unesc(v)))
+        })
+        .collect()
+}
+
+fn parse_pairs_usize(s: &str) -> Option<Vec<(usize, usize)>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split('|')
+        .map(|item| {
+            let (p, v) = item.split_once('=')?;
+            Some((p.parse().ok()?, v.parse().ok()?))
+        })
+        .collect()
+}
+
+fn list_strs(items: &[String]) -> String {
+    if items.is_empty() {
+        return "-".to_string();
+    }
+    items.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+}
+
+fn parse_strs(s: &str) -> Vec<String> {
+    if s == "-" {
+        return Vec::new();
+    }
+    s.split(',').map(unesc).collect()
+}
+
+// ----- save -------------------------------------------------------------
+
+/// Serializes entries to the cache file. Creates parent directories;
+/// callers gate on the root's `target/` dir already existing so fixture
+/// roots are never polluted.
+pub fn save(
+    path: &Path,
+    fingerprint: &str,
+    entries: &[(String, CachedFile)],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str(&format!("bp-lint-cache v2 {}\n", esc(fingerprint)));
+    for (rel, e) in entries {
+        out.push_str(&format!("F\t{:016x}\t{}\n", e.hash, esc(rel)));
+        let s = &e.summary;
+        out.push_str(&format!(
+            "U\t{}\t{}\n",
+            esc(&s.crate_name),
+            flag(s.whole_file_test)
+        ));
+        for v in &e.raw {
+            out.push_str(&format!(
+                "V\t{}\t{}\t{}\t{}\n",
+                v.rule,
+                v.line,
+                v.col,
+                esc(&v.message)
+            ));
+        }
+        for d in &e.directives {
+            out.push_str(&format!(
+                "D\t{}\t{}\t{}\t{}\n",
+                d.line,
+                d.target_line,
+                list_strs(&d.rules),
+                esc(&d.reason)
+            ));
+        }
+        for f in &s.fns {
+            out.push_str(&format!(
+                "N\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&f.name),
+                esc(&f.impl_type),
+                flag(f.is_pub),
+                flag(f.is_test),
+                f.line,
+                f.col,
+                flag(f.mentions_deadline),
+                list_strs(&f.param_names),
+                list_strs(&f.param_tys)
+            ));
+            for c in &f.calls {
+                out.push_str(&format!(
+                    "C\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                    esc(&c.name),
+                    esc(&c.qual),
+                    esc(&c.recv),
+                    flag(c.is_method),
+                    c.line,
+                    c.col,
+                    flag(c.in_loop),
+                    c.argc,
+                    list_pairs_str(&c.str_args),
+                    list_pairs_str(&c.fmt_args),
+                    list_pairs_usize(&c.param_args),
+                    list_pairs_str(&c.path_args)
+                ));
+            }
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(out.as_bytes())?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+// ----- load -------------------------------------------------------------
+
+/// Loads the cache; returns empty on any mismatch, version skew, or
+/// parse problem.
+pub fn load(path: &Path, fingerprint: &str) -> Cache {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Cache::default();
+    };
+    parse(&text, fingerprint).unwrap_or_default()
+}
+
+fn parse(text: &str, fingerprint: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let expect = format!("bp-lint-cache v2 {}", esc(fingerprint));
+    if header != expect {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur: Option<(String, CachedFile)> = None;
+    for line in lines {
+        let mut fields = line.split('\t');
+        let tag = fields.next()?;
+        let rest: Vec<&str> = fields.collect();
+        match tag {
+            "F" => {
+                if let Some((rel, e)) = cur.take() {
+                    cache.entries.insert(rel, e);
+                }
+                if rest.len() != 2 {
+                    return None;
+                }
+                let hash = u64::from_str_radix(rest[0], 16).ok()?;
+                let rel = unesc(rest[1]);
+                cur = Some((
+                    rel.clone(),
+                    CachedFile {
+                        hash,
+                        summary: FileSummary {
+                            rel_path: rel,
+                            ..FileSummary::default()
+                        },
+                        ..CachedFile::default()
+                    },
+                ));
+            }
+            "U" => {
+                let (_, e) = cur.as_mut()?;
+                if rest.len() != 2 {
+                    return None;
+                }
+                e.summary.crate_name = unesc(rest[0]);
+                e.summary.whole_file_test = rest[1] == "1";
+            }
+            "V" => {
+                let (rel, e) = cur.as_mut()?;
+                if rest.len() != 4 {
+                    return None;
+                }
+                e.raw.push(Violation {
+                    rule: static_rule_id(rest[0])?,
+                    path: rel.clone(),
+                    line: rest[1].parse().ok()?,
+                    col: rest[2].parse().ok()?,
+                    message: unesc(rest[3]),
+                    severity: Severity::Error,
+                });
+            }
+            "D" => {
+                let (_, e) = cur.as_mut()?;
+                if rest.len() != 4 {
+                    return None;
+                }
+                e.directives.push(Directive {
+                    line: rest[0].parse().ok()?,
+                    target_line: rest[1].parse().ok()?,
+                    rules: parse_strs(rest[2]),
+                    reason: unesc(rest[3]),
+                });
+            }
+            "N" => {
+                let (_, e) = cur.as_mut()?;
+                if rest.len() != 9 {
+                    return None;
+                }
+                e.summary.fns.push(FnSummary {
+                    name: unesc(rest[0]),
+                    impl_type: unesc(rest[1]),
+                    is_pub: rest[2] == "1",
+                    is_test: rest[3] == "1",
+                    line: rest[4].parse().ok()?,
+                    col: rest[5].parse().ok()?,
+                    mentions_deadline: rest[6] == "1",
+                    param_names: parse_strs(rest[7]),
+                    param_tys: parse_strs(rest[8]),
+                    calls: Vec::new(),
+                });
+            }
+            "C" => {
+                let (_, e) = cur.as_mut()?;
+                if rest.len() != 12 {
+                    return None;
+                }
+                let f = e.summary.fns.last_mut()?;
+                f.calls.push(CallFact {
+                    name: unesc(rest[0]),
+                    qual: unesc(rest[1]),
+                    recv: unesc(rest[2]),
+                    is_method: rest[3] == "1",
+                    line: rest[4].parse().ok()?,
+                    col: rest[5].parse().ok()?,
+                    in_loop: rest[6] == "1",
+                    argc: rest[7].parse().ok()?,
+                    str_args: parse_pairs_str(rest[8])?,
+                    fmt_args: parse_pairs_str(rest[9])?,
+                    param_args: parse_pairs_usize(rest[10])?,
+                    path_args: parse_pairs_str(rest[11])?,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some((rel, e)) = cur.take() {
+        cache.entries.insert(rel, e);
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> (String, CachedFile) {
+        let summary = FileSummary {
+            rel_path: "crates/storage/src/store.rs".into(),
+            crate_name: "storage".into(),
+            whole_file_test: false,
+            fns: vec![FnSummary {
+                name: "commit".into(),
+                impl_type: "ProvenanceStore".into(),
+                is_pub: false,
+                is_test: false,
+                line: 10,
+                col: 5,
+                mentions_deadline: false,
+                param_names: vec!["self".into(), "op".into()],
+                param_tys: vec!["Self".into(), "& Op , weird|chars".into()],
+                calls: vec![CallFact {
+                    name: "append".into(),
+                    qual: String::new(),
+                    recv: "self.wal".into(),
+                    is_method: true,
+                    line: 12,
+                    col: 9,
+                    in_loop: false,
+                    argc: 1,
+                    str_args: vec![(0, "tab\there".into())],
+                    fmt_args: vec![(0, "bench.query.*.latency_us".into())],
+                    param_args: vec![(0, 1)],
+                    path_args: vec![(0, "self.payload".into())],
+                }],
+            }],
+        };
+        let entry = CachedFile {
+            hash: hash_src("fn main() {}"),
+            raw: vec![Violation {
+                rule: "L002",
+                path: "crates/storage/src/store.rs".into(),
+                line: 3,
+                col: 7,
+                message: "message with\nnewline and\ttab and = and | and , and %".into(),
+                severity: Severity::Error,
+            }],
+            directives: vec![Directive {
+                rules: vec!["L001".into(), "L002".into()],
+                reason: "justified, with comma".into(),
+                line: 2,
+                target_line: 3,
+            }],
+            summary,
+        };
+        ("crates/storage/src/store.rs".to_string(), entry)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = std::env::temp_dir().join(format!("bp-lint-cache-test-{}", std::process::id()));
+        let path = dir.join("cache");
+        let (rel, entry) = sample_entry();
+        save(&path, "fp1", &[(rel.clone(), entry.clone())]).expect("save");
+        let cache = load(&path, "fp1");
+        let hit = cache.get(&rel, entry.hash).expect("hit");
+        assert_eq!(hit.summary, entry.summary);
+        assert_eq!(hit.raw.len(), 1);
+        assert_eq!(hit.raw[0].message, entry.raw[0].message);
+        assert_eq!(hit.directives.len(), 1);
+        assert_eq!(hit.directives[0].rules, entry.directives[0].rules);
+        assert_eq!(hit.directives[0].reason, entry.directives[0].reason);
+        // Wrong hash → miss.
+        assert!(cache.get(&rel, entry.hash ^ 1).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_empties_cache() {
+        let dir = std::env::temp_dir().join(format!("bp-lint-cache-fp-{}", std::process::id()));
+        let path = dir.join("cache");
+        let (rel, entry) = sample_entry();
+        save(&path, "fp1", &[(rel, entry)]).expect("save");
+        assert!(load(&path, "fp2").is_empty());
+        assert_eq!(load(&path, "fp1").len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("bp-lint-cache-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cache");
+        std::fs::write(&path, "bp-lint-cache v2 fp1\nZ\tnot a record\n").expect("write");
+        assert!(load(&path, "fp1").is_empty());
+        assert!(load(&dir.join("missing"), "fp1").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        assert_eq!(hash_src("abc"), hash_src("abc"));
+        assert_ne!(hash_src("abc"), hash_src("abd"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Cross-crate call graph over the [`crate::symbols`] summaries.
+//!
+//! Resolution is name-based and deliberately conservative: `self.m(…)`
+//! binds to the enclosing impl type, `Type::f(…)` and `module::f(…)`
+//! bind through their qualifier, unqualified calls prefer same-file then
+//! same-crate then workspace-unique free functions, and non-`self`
+//! method calls only link when the workspace defines at most three
+//! methods of that name (over-approximating is fine for reachability;
+//! under-approximating would silence real findings, so the ambiguity cap
+//! is the one documented soundness trade). Calls named `lock`/`read`/
+//! `write` with no arguments are lock primitives, never call edges —
+//! linking `filter.read()` to a workspace method called `read` would
+//! poison both the lock analysis and the reachability sets.
+
+use crate::symbols::{CallFact, FileSummary, FnSummary};
+use std::collections::HashMap;
+
+/// Zero-argument method names treated as lock acquisitions, not calls.
+pub const LOCK_PRIMITIVES: &[&str] = &["lock", "read", "write"];
+
+/// Identifies one function: (file index, index within that file's fns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FnKey {
+    /// Index into the program's file list.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub idx: usize,
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee node index.
+    pub to: usize,
+    /// Index of the originating [`CallFact`] in the caller's `calls`.
+    pub call_idx: usize,
+}
+
+/// The whole-program call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Dense node list; index = node id.
+    pub nodes: Vec<FnKey>,
+    /// Outgoing edges per node.
+    pub edges: Vec<Vec<Edge>>,
+    node_of: HashMap<FnKey, usize>,
+}
+
+impl CallGraph {
+    /// Node id for a (file, fn) pair.
+    pub fn node(&self, file: usize, idx: usize) -> Option<usize> {
+        self.node_of.get(&FnKey { file, idx }).copied()
+    }
+
+    /// The [`FnSummary`] behind node `n`.
+    pub fn fn_at<'a>(&self, files: &'a [FileSummary], n: usize) -> &'a FnSummary {
+        let k = self.nodes[n];
+        &files[k.file].fns[k.idx]
+    }
+
+    /// The file behind node `n`.
+    pub fn file_at<'a>(&self, files: &'a [FileSummary], n: usize) -> &'a FileSummary {
+        &files[self.nodes[n].file]
+    }
+
+    /// `true` when node `n` is test-only code.
+    pub fn is_test(&self, files: &[FileSummary], n: usize) -> bool {
+        let k = self.nodes[n];
+        files[k.file].whole_file_test || files[k.file].fns[k.idx].is_test
+    }
+}
+
+/// The whole-program view handed to the interprocedural rules: every
+/// file's fact summary, the call graph over them, and the metric
+/// registry contents (when the workspace has one).
+#[derive(Debug, Default)]
+pub struct Program {
+    /// File summaries in path order.
+    pub files: Vec<FileSummary>,
+    /// The call graph over `files`.
+    pub graph: CallGraph,
+    /// Raw contents of `METRICS.registry`, if the file exists.
+    pub registry: Option<String>,
+}
+
+impl Program {
+    /// Builds the program view (and its call graph) from summaries.
+    pub fn new(files: Vec<FileSummary>, registry: Option<String>) -> Self {
+        let graph = build(&files);
+        Program {
+            files,
+            graph,
+            registry,
+        }
+    }
+}
+
+/// Builds the call graph for a set of file summaries.
+pub fn build(files: &[FileSummary]) -> CallGraph {
+    let mut g = CallGraph::default();
+    for (fi, f) in files.iter().enumerate() {
+        for si in 0..f.fns.len() {
+            let key = FnKey { file: fi, idx: si };
+            g.node_of.insert(key, g.nodes.len());
+            g.nodes.push(key);
+        }
+    }
+
+    // Name indexes over non-test functions (real code never calls into
+    // test scaffolding).
+    let mut methods: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut typed: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+    let mut free: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (n, key) in g.nodes.iter().enumerate() {
+        let file = &files[key.file];
+        let f = &file.fns[key.idx];
+        if f.is_test || file.whole_file_test {
+            continue;
+        }
+        if f.impl_type.is_empty() {
+            free.entry(f.name.as_str()).or_default().push(n);
+        } else {
+            typed
+                .entry((f.impl_type.as_str(), f.name.as_str()))
+                .or_default()
+                .push(n);
+            methods.entry(f.name.as_str()).or_default().push(n);
+        }
+    }
+
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); g.nodes.len()];
+    for (n, key) in g.nodes.iter().enumerate() {
+        let file = &files[key.file];
+        let caller = &file.fns[key.idx];
+        if caller.is_test || file.whole_file_test {
+            continue;
+        }
+        for (ci, call) in caller.calls.iter().enumerate() {
+            let targets = resolve(call, caller, key.file, files, &g, &methods, &typed, &free);
+            for t in targets {
+                if !edges[n].iter().any(|e| e.to == t) {
+                    edges[n].push(Edge {
+                        to: t,
+                        call_idx: ci,
+                    });
+                }
+            }
+        }
+    }
+    g.edges = edges;
+    g
+}
+
+/// Restricts candidates to the caller's crate when possible.
+fn prefer_same_crate(
+    cands: &[usize],
+    crate_name: &str,
+    files: &[FileSummary],
+    g: &CallGraph,
+) -> Vec<usize> {
+    let same: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&t| files[g.nodes[t].file].crate_name == crate_name)
+        .collect();
+    if same.is_empty() {
+        cands.to_vec()
+    } else {
+        same
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    call: &CallFact,
+    caller: &FnSummary,
+    caller_file: usize,
+    files: &[FileSummary],
+    g: &CallGraph,
+    methods: &HashMap<&str, Vec<usize>>,
+    typed: &HashMap<(&str, &str), Vec<usize>>,
+    free: &HashMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let name = call.name.as_str();
+    let crate_name = files[caller_file].crate_name.as_str();
+    if call.is_method {
+        if call.argc == 0 && LOCK_PRIMITIVES.contains(&name) {
+            return Vec::new();
+        }
+        if call.recv == "self" {
+            if !caller.impl_type.is_empty() {
+                if let Some(c) = typed.get(&(caller.impl_type.as_str(), name)) {
+                    return prefer_same_crate(c, crate_name, files, g);
+                }
+            }
+            return Vec::new();
+        }
+        // Non-self method: only link when the name is rare enough to be
+        // unambiguous-ish; std-container method names have no workspace
+        // definition and fall out naturally.
+        match methods.get(name) {
+            Some(c) if (1..=3).contains(&c.len()) => c.clone(),
+            _ => Vec::new(),
+        }
+    } else {
+        let qual = call.qual.as_str();
+        if qual == "Self" {
+            if !caller.impl_type.is_empty() {
+                if let Some(c) = typed.get(&(caller.impl_type.as_str(), name)) {
+                    return prefer_same_crate(c, crate_name, files, g);
+                }
+            }
+            return Vec::new();
+        }
+        if !qual.is_empty() && !matches!(qual, "crate" | "super" | "self") {
+            // Type::assoc_fn
+            if let Some(c) = typed.get(&(qual, name)) {
+                return prefer_same_crate(c, crate_name, files, g);
+            }
+            // module::free_fn — match free fns living in a file named
+            // after the module.
+            if let Some(c) = free.get(name) {
+                let by_module: Vec<usize> = c
+                    .iter()
+                    .copied()
+                    .filter(|&t| {
+                        let p = &files[g.nodes[t].file].rel_path;
+                        p.ends_with(&format!("/{qual}.rs")) || p.contains(&format!("/{qual}/"))
+                    })
+                    .collect();
+                if !by_module.is_empty() {
+                    return prefer_same_crate(&by_module, crate_name, files, g);
+                }
+            }
+            return Vec::new();
+        }
+        // Unqualified (or crate::/self::-qualified) free call.
+        if let Some(c) = free.get(name) {
+            let same_file: Vec<usize> = c
+                .iter()
+                .copied()
+                .filter(|&t| g.nodes[t].file == caller_file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let same_crate: Vec<usize> = c
+                .iter()
+                .copied()
+                .filter(|&t| files[g.nodes[t].file].crate_name == crate_name)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            if c.len() == 1 {
+                return c.clone();
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::LineMap;
+    use crate::engine::match_delims;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+    use crate::symbols::summarize;
+
+    fn file(path: &str, src: &str) -> FileSummary {
+        let lexed = lex(src);
+        let close = match_delims(&lexed, src);
+        let ast = parse_file(src, &lexed, &close);
+        summarize(path, &ast, &LineMap::new(src))
+    }
+
+    fn callees(g: &CallGraph, files: &[FileSummary], name: &str) -> Vec<String> {
+        let n = (0..g.nodes.len())
+            .find(|&n| g.fn_at(files, n).name == name)
+            .unwrap();
+        let mut out: Vec<String> = g.edges[n]
+            .iter()
+            .map(|e| g.fn_at(files, e.to).display())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn self_methods_and_free_fns_resolve() {
+        let files = vec![
+            file(
+                "crates/storage/src/store.rs",
+                r#"
+                impl ProvenanceStore {
+                    pub fn add_node(&mut self) { self.commit(); }
+                    fn commit(&mut self) { self.append_frame(); helper(); }
+                    fn append_frame(&mut self) { self.wal.append(p); }
+                }
+                fn helper() {}
+                "#,
+            ),
+            file(
+                "crates/query/src/slo.rs",
+                r#"
+                pub fn observe(obs: &Obs) {}
+                impl Deadline {
+                    pub fn start() -> Self { Deadline }
+                }
+                "#,
+            ),
+            file(
+                "crates/query/src/context.rs",
+                r#"
+                pub fn search(b: &ProvenanceBrowser) {
+                    let d = crate::slo::Deadline::start();
+                    crate::slo::observe(obs);
+                }
+                "#,
+            ),
+        ];
+        let g = build(&files);
+        assert_eq!(
+            callees(&g, &files, "add_node"),
+            vec!["ProvenanceStore::commit"]
+        );
+        assert_eq!(
+            callees(&g, &files, "commit"),
+            vec!["ProvenanceStore::append_frame", "helper"]
+        );
+        // `self.wal.append(p)` is a non-self method with no workspace
+        // definition — no edge.
+        assert!(callees(&g, &files, "append_frame").is_empty());
+        // Cross-crate: Deadline::start via type qual, observe via module
+        // qual.
+        assert_eq!(
+            callees(&g, &files, "search"),
+            vec!["Deadline::start", "observe"]
+        );
+    }
+
+    #[test]
+    fn lock_primitives_never_link() {
+        let files = vec![file(
+            "crates/cli/src/serve.rs",
+            r#"
+            impl SharedBrowser {
+                pub fn read(&self) -> Guard { self.inner.read() }
+            }
+            fn handler(state: &State) {
+                let b = state.shared.read();
+            }
+            "#,
+        )];
+        let g = build(&files);
+        assert!(callees(&g, &files, "handler").is_empty());
+    }
+
+    #[test]
+    fn test_fns_do_not_resolve() {
+        let files = vec![file(
+            "crates/core/src/lib.rs",
+            r#"
+            pub fn real() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { real(); }
+            }
+            "#,
+        )];
+        let g = build(&files);
+        let t = (0..g.nodes.len())
+            .find(|&n| g.fn_at(&files, n).name == "t")
+            .unwrap();
+        assert!(g.edges[t].is_empty());
+        assert!(g.is_test(&files, t));
+    }
+}

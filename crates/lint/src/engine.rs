@@ -2,11 +2,26 @@
 //! [`FileContext`] (tokens plus just enough structure — test regions,
 //! function extents, brace matching), runs every rule, and applies
 //! `bp-lint: allow(...)` suppressions.
+//!
+//! `check_tree_with` is the full v2 pipeline: per-file analysis fans out
+//! across worker threads (pure per file, so order does not matter), a
+//! content-hash cache skips unchanged files on warm runs, the per-file
+//! fact summaries feed the whole-program [`Program`] that the
+//! interprocedural rules (L007–L010) run over, and the combined findings
+//! are sorted into canonical (path, line, col, rule) order so output is
+//! identical regardless of thread scheduling.
 
+use crate::cache::{self, Cache, CachedFile};
+use crate::callgraph::Program;
 use crate::diag::{parse_directive, Directive, LineMap, Severity, Suppression, Violation};
 use crate::lexer::{lex, Lexed, TokenKind};
-use crate::rules::{all_rules, Rule};
+use crate::parser::parse_file;
+use crate::rules::{all_global_rules, all_rules, Rule, METRICS_REGISTRY_PATH};
+use crate::symbols::{summarize, FileSummary};
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// One function found in a file.
 #[derive(Debug, Clone)]
@@ -84,7 +99,7 @@ impl<'a> FileContext<'a> {
 }
 
 /// Builds the match table for `(`/`[`/`{` tokens.
-fn match_delims(ctx_tokens: &Lexed, src: &str) -> Vec<usize> {
+pub(crate) fn match_delims(ctx_tokens: &Lexed, src: &str) -> Vec<usize> {
     let toks = &ctx_tokens.tokens;
     let mut close = vec![usize::MAX; toks.len()];
     let mut stack: Vec<(usize, u8)> = Vec::new();
@@ -316,15 +331,144 @@ pub fn build_context<'a>(rel_path: &str, src: &'a str, lexed: &'a Lexed) -> File
     ctx
 }
 
+/// The outcome of per-file analysis: everything `check_tree_with` needs
+/// downstream, and exactly what the incremental cache stores.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Raw (pre-suppression) per-file violations, including L000, in
+    /// (line, col, rule) order.
+    pub raw: Vec<Violation>,
+    /// Allowlist directives found in the file.
+    pub directives: Vec<Directive>,
+    /// The interprocedural fact summary.
+    pub summary: FileSummary,
+}
+
+/// `Some(start)` when timing is enabled.
+fn stopwatch(enabled: bool) -> Option<std::time::Instant> {
+    // bp-lint: allow(L001): the --timing flag measures bp-lint's own wall time
+    enabled.then(std::time::Instant::now)
+}
+
+fn elapsed(sw: Option<std::time::Instant>) -> Duration {
+    sw.map(|s| s.elapsed()).unwrap_or_default()
+}
+
+/// Runs the per-file tier (token rules, directives, fact summary) over
+/// one file. Pure in `src`, which is what makes both the thread fan-out
+/// and the content-hash cache sound. Returns per-rule wall times when
+/// `timing` is set.
+pub fn analyze_file(
+    rules: &[Box<dyn Rule>],
+    rel_path: &str,
+    src: &str,
+    timing: bool,
+) -> (FileAnalysis, Vec<(&'static str, Duration)>) {
+    let lexed = lex(src);
+    let ctx = build_context(rel_path, src, &lexed);
+    let directives = collect_directives(&ctx);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    // Directive misuse is itself a violation: reasons are mandatory.
+    for d in &directives {
+        if d.reason.is_empty() {
+            let rules = d.rules.join(", ");
+            raw.push(Violation {
+                rule: "L000",
+                path: ctx.rel_path.clone(),
+                line: d.line,
+                col: 1,
+                message: format!(
+                    "allow({rules}) directive is missing its mandatory reason \
+                     (write `// bp-lint: allow({rules}): <why this site is safe>`)"
+                ),
+                severity: Severity::Error,
+            });
+        }
+    }
+    let mut rule_times = Vec::new();
+    for rule in rules {
+        let sw = stopwatch(timing);
+        raw.extend(rule.check(&ctx));
+        if timing {
+            rule_times.push((rule.id(), elapsed(sw)));
+        }
+    }
+    raw.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+
+    let ast = parse_file(src, &lexed, &ctx.match_close);
+    let summary = summarize(rel_path, &ast, &ctx.lines);
+    (
+        FileAnalysis {
+            raw,
+            directives,
+            summary,
+        },
+        rule_times,
+    )
+}
+
+/// Routes raw violations through the per-file directives into the
+/// report, as surviving violations or recorded suppressions.
+fn apply_suppressions(
+    raw: Vec<Violation>,
+    directives: &HashMap<String, Vec<Directive>>,
+    report: &mut CheckReport,
+) {
+    static NO_DIRECTIVES: Vec<Directive> = Vec::new();
+    for v in raw {
+        let ds = directives.get(&v.path).unwrap_or(&NO_DIRECTIVES);
+        let hit = (v.rule != "L000")
+            .then(|| {
+                ds.iter().find(|d| {
+                    !d.reason.is_empty()
+                        && d.target_line == v.line
+                        && d.rules.iter().any(|r| r == v.rule)
+                })
+            })
+            .flatten();
+        if let Some(d) = hit {
+            report.suppressions.push(Suppression {
+                rule: v.rule.to_string(),
+                path: v.path.clone(),
+                line: v.line,
+                reason: d.reason.clone(),
+            });
+        } else {
+            report.violations.push(v);
+        }
+    }
+}
+
+/// Tuning knobs for `check_tree_with`.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Worker thread count; `None` = available parallelism.
+    pub jobs: Option<usize>,
+    /// Skip both reading and writing the incremental cache.
+    pub no_cache: bool,
+    /// Collect per-rule and per-file wall times.
+    pub timing: bool,
+}
+
 /// The outcome of checking a tree.
 #[derive(Debug, Default)]
 pub struct CheckReport {
-    /// Violations that survived suppression, in path/line order.
+    /// Violations that survived suppression, in (path, line, col, rule)
+    /// order.
     pub violations: Vec<Violation>,
     /// Allowlisted (suppressed) findings with their reasons.
     pub suppressions: Vec<Suppression>,
     /// Number of files scanned.
     pub files: usize,
+    /// How many of those were cache hits.
+    pub cached_files: usize,
+    /// Aggregate wall time per rule (only with `CheckOptions::timing`).
+    pub rule_times: Vec<(String, Duration)>,
+    /// Wall time per analyzed file (only with `CheckOptions::timing`).
+    pub file_times: Vec<(String, Duration)>,
+    /// End-to-end wall time (only with `CheckOptions::timing`).
+    pub total_time: Duration,
 }
 
 impl CheckReport {
@@ -345,77 +489,208 @@ impl Default for Engine {
     }
 }
 
+/// Fingerprint over the full rule set (ids + descriptions); any change
+/// invalidates the incremental cache wholesale.
+fn rules_fingerprint() -> String {
+    let mut s = String::new();
+    for r in all_rules() {
+        s.push_str(r.id());
+        s.push_str(r.description());
+    }
+    for r in all_global_rules() {
+        s.push_str(r.id());
+        s.push_str(r.description());
+    }
+    format!("{:016x}", cache::hash_src(&s))
+}
+
 impl Engine {
     /// An engine with every built-in rule.
     pub fn new() -> Self {
         Engine { rules: all_rules() }
     }
 
-    /// Checks one file's source, applying directives.
+    /// Checks one file's source, applying directives. Per-file rules
+    /// only — the interprocedural tier needs the whole tree.
     pub fn check_file(&self, rel_path: &str, src: &str, report: &mut CheckReport) {
-        let lexed = lex(src);
-        let ctx = build_context(rel_path, src, &lexed);
-        let directives = collect_directives(&ctx);
-
-        let mut raw: Vec<Violation> = Vec::new();
-        // Directive misuse is itself a violation: reasons are mandatory.
-        for d in &directives {
-            if d.reason.is_empty() {
-                let rules = d.rules.join(", ");
-                raw.push(Violation {
-                    rule: "L000",
-                    path: ctx.rel_path.clone(),
-                    line: d.line,
-                    col: 1,
-                    message: format!(
-                        "allow({rules}) directive is missing its mandatory reason \
-                         (write `// bp-lint: allow({rules}): <why this site is safe>`)"
-                    ),
-                    severity: Severity::Error,
-                });
-            }
-        }
-        for rule in &self.rules {
-            raw.extend(rule.check(&ctx));
-        }
-        raw.sort_by_key(|v| (v.line, v.col));
-        for v in raw {
-            let suppressed = v.rule != "L000"
-                && directives.iter().any(|d| {
-                    !d.reason.is_empty()
-                        && d.target_line == v.line
-                        && d.rules.iter().any(|r| r == v.rule)
-                });
-            if suppressed {
-                let reason = directives
-                    .iter()
-                    .find(|d| d.target_line == v.line && d.rules.iter().any(|r| r == v.rule))
-                    .map(|d| d.reason.clone())
-                    .unwrap_or_default();
-                report.suppressions.push(Suppression {
-                    rule: v.rule.to_string(),
-                    path: v.path.clone(),
-                    line: v.line,
-                    reason,
-                });
-            } else {
-                report.violations.push(v);
-            }
-        }
+        let (analysis, _) = analyze_file(&self.rules, rel_path, src, false);
+        let mut directives = HashMap::new();
+        directives.insert(rel_path.to_string(), analysis.directives);
+        apply_suppressions(analysis.raw, &directives, report);
         report.files += 1;
     }
 
-    /// Walks `root` and checks every eligible `.rs` file.
+    /// Walks `root` and checks every eligible `.rs` file with default
+    /// options (parallel, cached, no timing).
     pub fn check_tree(&self, root: &Path) -> std::io::Result<CheckReport> {
-        let mut report = CheckReport::default();
-        let mut files = Vec::new();
-        collect_rs_files(root, root, &mut files)?;
-        files.sort();
-        for rel in files {
-            let abs = root.join(&rel);
-            let src = std::fs::read_to_string(&abs)?;
+        self.check_tree_with(root, &CheckOptions::default())
+    }
+
+    /// The full pipeline: parallel per-file analysis (cache-accelerated),
+    /// whole-program rules, suppression, canonical ordering.
+    pub fn check_tree_with(
+        &self,
+        root: &Path,
+        opts: &CheckOptions,
+    ) -> std::io::Result<CheckReport> {
+        let total_sw = stopwatch(opts.timing);
+        let mut rels = Vec::new();
+        collect_rs_files(root, root, &mut rels)?;
+        rels.sort();
+        // Read sources up front; analysis itself is then I/O-free.
+        let mut files: Vec<(String, String, u64)> = Vec::with_capacity(rels.len());
+        for rel in &rels {
+            let src = std::fs::read_to_string(root.join(rel))?;
             let rel_unix = rel.to_string_lossy().replace('\\', "/");
-            self.check_file(&rel_unix, &src, &mut report);
+            let hash = cache::hash_src(&src);
+            files.push((rel_unix, src, hash));
+        }
+        let fingerprint = rules_fingerprint();
+        let cache_file = cache::cache_path(root);
+        let cached = if opts.no_cache {
+            Cache::default()
+        } else {
+            cache::load(&cache_file, &fingerprint)
+        };
+
+        struct Done {
+            analysis: FileAnalysis,
+            from_cache: bool,
+            time: Duration,
+            rule_times: Vec<(&'static str, Duration)>,
+        }
+        let n_files = files.len();
+        let jobs = opts
+            .jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, n_files.max(1));
+        let next = AtomicUsize::new(0);
+        let timing = opts.timing;
+        let mut slots: Vec<Option<Done>> = Vec::new();
+        slots.resize_with(n_files, || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        // Each worker owns a rule set: rules are stateless
+                        // unit structs, so this is cheaper than making the
+                        // trait objects Sync.
+                        let rules = all_rules();
+                        let mut local: Vec<(usize, Done)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_files {
+                                break;
+                            }
+                            let (rel, src, hash) = &files[i];
+                            let sw = stopwatch(timing);
+                            let (analysis, from_cache, rule_times) = match cached.get(rel, *hash) {
+                                Some(hit) => (
+                                    FileAnalysis {
+                                        raw: hit.raw.clone(),
+                                        directives: hit.directives.clone(),
+                                        summary: hit.summary.clone(),
+                                    },
+                                    true,
+                                    Vec::new(),
+                                ),
+                                None => {
+                                    let (a, rt) = analyze_file(&rules, rel, src, timing);
+                                    (a, false, rt)
+                                }
+                            };
+                            local.push((
+                                i,
+                                Done {
+                                    analysis,
+                                    from_cache,
+                                    time: elapsed(sw),
+                                    rule_times,
+                                },
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, d) in h.join().expect("bp-lint worker thread panicked") {
+                    slots[i] = Some(d);
+                }
+            }
+        });
+
+        let mut report = CheckReport {
+            files: n_files,
+            ..CheckReport::default()
+        };
+        let mut rule_times: BTreeMap<&'static str, Duration> = BTreeMap::new();
+        let mut entries: Vec<(String, CachedFile)> = Vec::with_capacity(n_files);
+        let mut directives: HashMap<String, Vec<Directive>> = HashMap::with_capacity(n_files);
+        let mut summaries: Vec<FileSummary> = Vec::with_capacity(n_files);
+        let mut all_raw: Vec<Violation> = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let d = slot.expect("work queue covered every file");
+            let (rel, _, hash) = &files[i];
+            if d.from_cache {
+                report.cached_files += 1;
+            }
+            if timing {
+                report.file_times.push((rel.clone(), d.time));
+                for (id, t) in d.rule_times {
+                    *rule_times.entry(id).or_default() += t;
+                }
+            }
+            entries.push((
+                rel.clone(),
+                CachedFile {
+                    hash: *hash,
+                    raw: d.analysis.raw.clone(),
+                    directives: d.analysis.directives.clone(),
+                    summary: d.analysis.summary.clone(),
+                },
+            ));
+            all_raw.extend(d.analysis.raw);
+            directives.insert(rel.clone(), d.analysis.directives);
+            summaries.push(d.analysis.summary);
+        }
+
+        // Whole-program tier: always re-runs; only per-file work is cached.
+        let registry = std::fs::read_to_string(root.join(METRICS_REGISTRY_PATH)).ok();
+        let prog = Program::new(summaries, registry);
+        for rule in all_global_rules() {
+            let sw = stopwatch(timing);
+            all_raw.extend(rule.check(&prog));
+            if timing {
+                *rule_times.entry(rule.id()).or_default() += elapsed(sw);
+            }
+        }
+
+        apply_suppressions(all_raw, &directives, &mut report);
+        report.violations.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        report
+            .suppressions
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+
+        // Persist the cache only into an existing target/ dir: `--root`
+        // pointed at a fixture tree must never grow build artifacts.
+        if !opts.no_cache && root.join("target").is_dir() {
+            let _ = cache::save(&cache_file, &fingerprint, &entries);
+        }
+        if timing {
+            report.rule_times = rule_times
+                .into_iter()
+                .map(|(id, t)| (id.to_string(), t))
+                .collect();
+            report.rule_times.sort_by_key(|r| std::cmp::Reverse(r.1));
+            report.file_times.sort_by_key(|f| std::cmp::Reverse(f.1));
+            report.total_time = elapsed(total_sw);
         }
         Ok(report)
     }

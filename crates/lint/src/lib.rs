@@ -15,6 +15,18 @@
 //! | L004 | no default-hasher map iteration feeding an encoder (replay determinism) |
 //! | L005 | every public query entry point consults `slo::Deadline` before iterating |
 //! | L006 | no bare `println!`/`eprintln!`/`dbg!` in library crates — use `bp_obs::log` |
+//! | L007 | every store mutation is WAL-dominated on all public call paths |
+//! | L008 | the cross-crate lock-order graph is acyclic (no potential deadlock) |
+//! | L009 | graph loops reachable from query entry points thread an `slo::Deadline` |
+//! | L010 | every emitted metric name appears in `METRICS.registry` (and vice versa) |
+//!
+//! L001–L006 are token-level and file-local. L007–L010 are the v2
+//! interprocedural tier: a hand-rolled recursive-descent parser
+//! ([`parser`]) builds an AST ([`ast`]), per-file fact extraction
+//! ([`symbols`]) distills functions/calls/locks/metric emissions, and a
+//! cross-crate call graph ([`callgraph`]) supports whole-program
+//! reachability and dataflow. Results can be exported as SARIF 2.1.0
+//! ([`sarif`]) and warm runs reuse a content-hash cache ([`cache`]).
 //!
 //! Violations can be suppressed site-by-site with
 //! `// bp-lint: allow(L00X): <reason>` — the reason is mandatory, and a
@@ -23,11 +35,17 @@
 //! Run `cargo run -p bp-lint -- check` (non-zero exit on violations) or
 //! `-- fix` for the mechanically safe rewrites.
 
+pub mod ast;
+pub mod cache;
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
 pub mod fixer;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
 pub use diag::{Severity, Violation};
 pub use engine::{check_root, CheckReport, Engine};

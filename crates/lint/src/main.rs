@@ -1,11 +1,14 @@
 //! The `bp-lint` binary.
 //!
 //! ```text
-//! bp-lint check [--root PATH]   # exit 0 clean, 1 violations, 2 usage/io
+//! bp-lint check [--root PATH] [--sarif FILE] [--timing] [--jobs N] [--no-cache]
+//!                               # exit 0 clean, 1 violations, 2 usage/io
 //! bp-lint fix   [--root PATH]   # apply mechanically safe rewrites
 //! bp-lint rules                 # list the rule set
 //! ```
 
+use bp_lint::engine::{CheckOptions, Engine};
+use bp_lint::sarif::{self, RuleMeta};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -16,8 +19,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     match cmd.as_str() {
-        "check" => match parse_root(&args[1..]) {
-            Ok(root) => run_check(&root),
+        "check" => match CheckArgs::parse(&args[1..]) {
+            Ok(a) => run_check(&a),
             Err(msg) => fail_usage(&msg),
         },
         "fix" => match parse_root(&args[1..]) {
@@ -25,8 +28,8 @@ fn main() -> ExitCode {
             Err(msg) => fail_usage(&msg),
         },
         "rules" => {
-            for rule in bp_lint::rules::all_rules() {
-                println!("{}  {}", rule.id(), rule.description());
+            for r in rule_metas() {
+                println!("{}  {}", r.id, r.description);
             }
             ExitCode::SUCCESS
         }
@@ -34,14 +37,39 @@ fn main() -> ExitCode {
     }
 }
 
+/// Metadata for every rule, per-file and whole-program alike, in id
+/// order — shared by `rules` and the SARIF driver block.
+fn rule_metas() -> Vec<RuleMeta> {
+    let mut out: Vec<RuleMeta> = bp_lint::rules::all_rules()
+        .iter()
+        .map(|r| RuleMeta {
+            id: r.id(),
+            description: r.description().to_string(),
+        })
+        .collect();
+    out.extend(bp_lint::rules::all_global_rules().iter().map(|r| RuleMeta {
+        id: r.id(),
+        description: r.description().to_string(),
+    }));
+    out.sort_by_key(|r| r.id);
+    out
+}
+
 fn usage() {
     eprintln!(
         "bp-lint: repo-specific static analysis for the provenance store\n\
          \n\
          usage:\n\
-         \x20 bp-lint check [--root PATH]   check the workspace (exit 1 on violations)\n\
+         \x20 bp-lint check [--root PATH] [--sarif FILE] [--timing] [--jobs N] [--no-cache]\n\
+         \x20                               check the workspace (exit 1 on violations)\n\
          \x20 bp-lint fix   [--root PATH]   apply mechanically safe rewrites\n\
          \x20 bp-lint rules                 list the rule set\n\
+         \n\
+         check flags:\n\
+         \x20 --sarif FILE   also write findings as SARIF 2.1.0 to FILE\n\
+         \x20 --timing       print per-rule and slowest-file wall times\n\
+         \x20 --jobs N       analysis worker threads (default: all cores)\n\
+         \x20 --no-cache     ignore and do not update the incremental cache\n\
          \n\
          Suppress a finding with `// bp-lint: allow(L00X): <reason>` on or\n\
          above the offending line; the reason is mandatory."
@@ -52,6 +80,53 @@ fn fail_usage(msg: &str) -> ExitCode {
     eprintln!("bp-lint: {msg}");
     usage();
     ExitCode::from(2)
+}
+
+/// Parsed `check` arguments.
+struct CheckArgs {
+    root: PathBuf,
+    sarif: Option<PathBuf>,
+    opts: CheckOptions,
+}
+
+impl CheckArgs {
+    fn parse(args: &[String]) -> Result<CheckArgs, String> {
+        let mut it = args.iter();
+        let mut root: Option<PathBuf> = None;
+        let mut sarif = None;
+        let mut opts = CheckOptions::default();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--root" => {
+                    let p = it.next().ok_or("--root needs a path")?;
+                    root = Some(PathBuf::from(p));
+                }
+                "--sarif" => {
+                    let p = it.next().ok_or("--sarif needs a file path")?;
+                    sarif = Some(PathBuf::from(p));
+                }
+                "--jobs" => {
+                    let n = it.next().ok_or("--jobs needs a count")?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("--jobs: `{n}` is not a number"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                    opts.jobs = Some(n);
+                }
+                "--timing" => opts.timing = true,
+                "--no-cache" => opts.no_cache = true,
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        let root = match root {
+            Some(r) => r,
+            None => find_workspace_root()
+                .ok_or_else(|| "could not locate workspace root; pass --root".to_string())?,
+        };
+        Ok(CheckArgs { root, sarif, opts })
+    }
 }
 
 /// Parses `[--root PATH]`, defaulting to the workspace root (the nearest
@@ -93,11 +168,21 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
-fn run_check(root: &Path) -> ExitCode {
-    match bp_lint::check_root(root) {
+fn run_check(args: &CheckArgs) -> ExitCode {
+    match Engine::new().check_tree_with(&args.root, &args.opts) {
         Ok(report) => {
             for v in &report.violations {
                 println!("{v}");
+            }
+            if let Some(path) = &args.sarif {
+                let doc = sarif::render(&report.violations, &rule_metas());
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("bp-lint: io error writing {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if args.opts.timing {
+                print_timing(&report);
             }
             let n = report.violations.len();
             let s = report.suppressions.len();
@@ -122,6 +207,21 @@ fn run_check(root: &Path) -> ExitCode {
             eprintln!("bp-lint: io error: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn print_timing(report: &bp_lint::engine::CheckReport) {
+    eprintln!(
+        "bp-lint: timing — {:.1?} total, {} files ({} cached)",
+        report.total_time, report.files, report.cached_files
+    );
+    eprintln!("  per rule:");
+    for (id, t) in &report.rule_times {
+        eprintln!("    {id}  {t:>10.1?}");
+    }
+    eprintln!("  slowest files:");
+    for (path, t) in report.file_times.iter().take(10) {
+        eprintln!("    {path}  {t:.1?}");
     }
 }
 

@@ -1,0 +1,1028 @@
+//! Recursive-descent parser for the Rust subset this workspace uses.
+//!
+//! Consumes the flat token stream from [`crate::lexer`] plus the
+//! delimiter match table and produces the [`crate::ast`] item tree. The
+//! grammar is intentionally shallow: items (fn / impl / mod), function
+//! signatures, and inside bodies an "expression soup" where only the
+//! shapes the interprocedural rules need — paths, string literals,
+//! calls, method calls, field accesses, macro invocations, loops, and
+//! nested blocks — get structured nodes. `if`/`match`/`let`/operators
+//! dissolve into the soup, which is sound for our rules because they
+//! only ask "which calls happen inside this function (and are they
+//! inside a loop)", never "under which condition".
+
+use crate::ast::{AstFile, Block, Expr, FnItem, ImplItem, Item, LoopKind, ModItem, Param, Span};
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Keywords that can never begin a path expression. `self`, `Self`,
+/// `crate`, and `super` are deliberately absent — they are path segments.
+const STMT_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "extern",
+    "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "union", "unsafe", "use", "where", "while",
+    "yield", "_",
+];
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: &'a [Token],
+    close: &'a [usize],
+}
+
+/// Parses one file into an [`AstFile`]. Never fails: unrecognized syntax
+/// degrades to [`Item::Other`] / skipped tokens, it does not abort.
+pub fn parse_file(src: &str, lexed: &Lexed, match_close: &[usize]) -> AstFile {
+    let p = Parser {
+        src,
+        toks: &lexed.tokens,
+        close: match_close,
+    };
+    let mut items = Vec::new();
+    p.parse_items(0, p.toks.len(), &mut items);
+    AstFile { items }
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        let t = &self.toks[i];
+        &self.src[t.start..t.end]
+    }
+
+    fn is(&self, i: usize, s: &str) -> bool {
+        i < self.toks.len() && self.text(i) == s
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    fn tok_span(&self, i: usize) -> Span {
+        Span {
+            start: self.toks[i].start,
+            end: self.toks[i].end,
+        }
+    }
+
+    /// A valid in-range match for the opener at `i`, if any.
+    fn closer(&self, i: usize, end: usize) -> Option<usize> {
+        let c = *self.close.get(i)?;
+        (c != usize::MAX && c < end).then_some(c)
+    }
+
+    // ----- items -------------------------------------------------------
+
+    fn parse_items(&self, start: usize, end: usize, out: &mut Vec<Item>) {
+        let mut i = start;
+        let mut pending_cfg_test = false;
+        let mut pending_test = false;
+        let mut pending_pub = false;
+        while i < end {
+            let t = self.text(i);
+            // Attribute: #[...] or #![...]
+            if t == "#" && (self.is(i + 1, "[") || (self.is(i + 1, "!") && self.is(i + 2, "["))) {
+                let open = if self.is(i + 1, "[") { i + 1 } else { i + 2 };
+                let Some(close) = self.closer(open, end) else {
+                    i += 1;
+                    continue;
+                };
+                let mut has_cfg = false;
+                let mut has_test = false;
+                for j in open + 1..close {
+                    match self.text(j) {
+                        "cfg" => has_cfg = true,
+                        "test" => has_test = true,
+                        _ => {}
+                    }
+                }
+                if has_cfg && has_test {
+                    pending_cfg_test = true;
+                } else if has_test {
+                    pending_test = true;
+                }
+                i = close + 1;
+                continue;
+            }
+            match t {
+                "pub" => {
+                    pending_pub = true;
+                    if self.is(i + 1, "(") {
+                        i = self.closer(i + 1, end).map_or(i + 2, |c| c + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                "unsafe" | "async" => i += 1,
+                "const" => {
+                    // `const fn` is a modifier; `const NAME: T = …;` is an item.
+                    if matches!(
+                        self.toks.get(i + 1).map(|_| self.text(i + 1)),
+                        Some("fn") | Some("unsafe") | Some("async") | Some("extern")
+                    ) {
+                        i += 1;
+                    } else {
+                        i = self.skip_item(i + 1, end);
+                        out.push(Item::Other);
+                        (pending_pub, pending_cfg_test, pending_test) = (false, false, false);
+                    }
+                }
+                "extern" => {
+                    if self.kind(i + 1) == Some(TokenKind::Str) {
+                        i += 2; // extern "C" fn …
+                    } else {
+                        i = self.skip_item(i + 1, end);
+                        out.push(Item::Other);
+                        (pending_pub, pending_cfg_test, pending_test) = (false, false, false);
+                    }
+                }
+                "fn" => {
+                    if let Some((mut f, resume)) = self.parse_fn(i, end) {
+                        f.is_pub = pending_pub;
+                        f.is_test = pending_test || pending_cfg_test;
+                        out.push(Item::Fn(f));
+                        i = resume;
+                    } else {
+                        i += 1;
+                    }
+                    (pending_pub, pending_cfg_test, pending_test) = (false, false, false);
+                }
+                "impl" => {
+                    let (item, resume) = self.parse_impl(i, end);
+                    out.push(item);
+                    i = resume;
+                    (pending_pub, pending_cfg_test, pending_test) = (false, false, false);
+                }
+                "mod" => {
+                    let (item, resume) = self.parse_mod(i, end, pending_cfg_test);
+                    out.push(item);
+                    i = resume;
+                    (pending_pub, pending_cfg_test, pending_test) = (false, false, false);
+                }
+                "struct" | "enum" | "union" | "trait" | "use" | "static" | "type"
+                | "macro_rules" => {
+                    i = self.skip_item(i + 1, end);
+                    out.push(Item::Other);
+                    (pending_pub, pending_cfg_test, pending_test) = (false, false, false);
+                }
+                _ => {
+                    i += 1;
+                    (pending_pub, pending_cfg_test, pending_test) = (false, false, false);
+                }
+            }
+        }
+    }
+
+    /// Skips to the end of an unmodeled item: past a top-level `;`, or
+    /// past the item's `{ … }` body, whichever comes first.
+    fn skip_item(&self, start: usize, end: usize) -> usize {
+        let mut i = start;
+        while i < end {
+            match self.text(i) {
+                ";" => return i + 1,
+                "(" | "[" => match self.closer(i, end) {
+                    Some(c) => i = c + 1,
+                    None => return i + 1,
+                },
+                "{" => return self.closer(i, end).map_or(i + 1, |c| c + 1),
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    fn parse_impl(&self, at: usize, end: usize) -> (Item, usize) {
+        let mut j = at + 1;
+        if self.is(j, "<") {
+            match self.skip_angles(j, end) {
+                Some(n) => j = n,
+                None => return (Item::Other, at + 1),
+            }
+        }
+        let mut first: Vec<String> = Vec::new();
+        let mut second: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        while j < end && !self.is(j, "{") {
+            match self.text(j) {
+                "where" => {
+                    while j < end && !self.is(j, "{") {
+                        if matches!(self.text(j), "(" | "[") {
+                            match self.closer(j, end) {
+                                Some(c) => j = c,
+                                None => return (Item::Other, j + 1),
+                            }
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                "for" => {
+                    saw_for = true;
+                    j += 1;
+                }
+                "<" => match self.skip_angles(j, end) {
+                    Some(n) => j = n,
+                    None => j += 1,
+                },
+                t => {
+                    if self.kind(j) == Some(TokenKind::Ident) {
+                        let dest = if saw_for { &mut second } else { &mut first };
+                        dest.push(t.to_string());
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if j >= end || !self.is(j, "{") {
+            return (Item::Other, j.min(end));
+        }
+        let Some(close) = self.closer(j, end) else {
+            return (Item::Other, j + 1);
+        };
+        let (trait_name, type_path) = if saw_for {
+            (first.last().cloned(), second)
+        } else {
+            (None, first)
+        };
+        let type_name = type_path.last().cloned().unwrap_or_default();
+        let mut items = Vec::new();
+        self.parse_items(j + 1, close, &mut items);
+        (
+            Item::Impl(ImplItem {
+                type_name,
+                trait_name,
+                items,
+            }),
+            close + 1,
+        )
+    }
+
+    fn parse_mod(&self, at: usize, end: usize, cfg_test: bool) -> (Item, usize) {
+        let name_i = at + 1;
+        if name_i >= end || self.kind(name_i) != Some(TokenKind::Ident) {
+            return (Item::Other, at + 1);
+        }
+        let name = self.text(name_i).to_string();
+        if self.is(name_i + 1, "{") {
+            if let Some(close) = self.closer(name_i + 1, end) {
+                let mut items = Vec::new();
+                self.parse_items(name_i + 2, close, &mut items);
+                return (
+                    Item::Mod(ModItem {
+                        name,
+                        cfg_test,
+                        items,
+                    }),
+                    close + 1,
+                );
+            }
+        }
+        // `mod name;` — out-of-line module, nothing to parse here.
+        (Item::Other, self.skip_item(name_i + 1, end))
+    }
+
+    fn parse_fn(&self, at: usize, end: usize) -> Option<(FnItem, usize)> {
+        let name_i = at + 1;
+        if name_i >= end || self.kind(name_i) != Some(TokenKind::Ident) {
+            return None;
+        }
+        let name = self.text(name_i).to_string();
+        let mut j = name_i + 1;
+        if self.is(j, "<") {
+            j = self.skip_angles(j, end)?;
+        }
+        if !self.is(j, "(") {
+            return None;
+        }
+        let pclose = self.closer(j, end)?;
+        let params = self.parse_params(j + 1, pclose);
+        // Return type / where clause, then `{` body or `;` declaration.
+        let mut k = pclose + 1;
+        let mut body = None;
+        let mut resume = pclose + 1;
+        while k < end {
+            match self.text(k) {
+                ";" => {
+                    resume = k + 1;
+                    break;
+                }
+                "{" => {
+                    if let Some(c) = self.closer(k, end) {
+                        body = Some(self.parse_block(k, c));
+                        resume = c + 1;
+                    } else {
+                        resume = k + 1;
+                    }
+                    break;
+                }
+                "(" | "[" => match self.closer(k, end) {
+                    Some(c) => {
+                        k = c + 1;
+                        resume = k;
+                    }
+                    None => {
+                        resume = k + 1;
+                        break;
+                    }
+                },
+                _ => {
+                    k += 1;
+                    resume = k;
+                }
+            }
+        }
+        Some((
+            FnItem {
+                name,
+                is_pub: false,
+                is_test: false,
+                params,
+                body,
+                span: self.tok_span(at),
+            },
+            resume,
+        ))
+    }
+
+    /// Splits a parameter list at top-level commas; commas inside angle
+    /// brackets (generic args) and delimiter groups do not split.
+    fn parse_params(&self, start: usize, end: usize) -> Vec<Param> {
+        let mut out = Vec::new();
+        let mut i = start;
+        let mut piece = start;
+        let mut angle = 0i32;
+        while i < end {
+            match self.text(i) {
+                "(" | "[" | "{" => {
+                    match self.closer(i, end) {
+                        Some(c) => i = c + 1,
+                        None => i += 1,
+                    }
+                    continue;
+                }
+                "<" => angle += 1,
+                ">" if angle > 0 && !(i > start && self.text(i - 1) == "-") => angle -= 1,
+                "," if angle == 0 => {
+                    if let Some(p) = self.parse_param(piece, i) {
+                        out.push(p);
+                    }
+                    piece = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if let Some(p) = self.parse_param(piece, end) {
+            out.push(p);
+        }
+        out
+    }
+
+    fn parse_param(&self, start: usize, end: usize) -> Option<Param> {
+        if start >= end {
+            return None;
+        }
+        // Find the top-level `:` separating pattern from type.
+        let mut colon = None;
+        let mut j = start;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" | "{" => match self.closer(j, end) {
+                    Some(c) => {
+                        j = c + 1;
+                        continue;
+                    }
+                    None => break,
+                },
+                ":" if !self.is(j + 1, ":") && (j == start || self.text(j - 1) != ":") => {
+                    colon = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let pat_end = colon.unwrap_or(end);
+        let mut name = String::new();
+        for k in start..pat_end {
+            if self.kind(k) == Some(TokenKind::Ident) {
+                let t = self.text(k);
+                if t == "mut" || t == "ref" {
+                    continue;
+                }
+                name = t.to_string();
+                break;
+            }
+        }
+        if name.is_empty() {
+            name = "_".to_string();
+        }
+        let ty = match colon {
+            Some(c) => self.join_tokens(c + 1, end),
+            None if name == "self" => "Self".to_string(),
+            None => String::new(),
+        };
+        Some(Param { name, ty })
+    }
+
+    fn join_tokens(&self, start: usize, end: usize) -> String {
+        let mut s = String::new();
+        for i in start..end.min(self.toks.len()) {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(self.text(i));
+        }
+        s
+    }
+
+    /// Skips a `<…>` group starting at `at` (which must be `<`), honoring
+    /// nested delimiters and the `->` arrow inside fn-pointer types.
+    /// Returns the index just past the matching `>`, or `None` when the
+    /// `<` turns out to be a comparison (hits `;` or runs out of tokens).
+    fn skip_angles(&self, at: usize, end: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = at;
+        while j < end {
+            match self.text(j) {
+                "<" => depth += 1,
+                ">" if j == 0 || self.text(j - 1) != "-" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j + 1);
+                    }
+                }
+                "(" | "[" | "{" => match self.closer(j, end) {
+                    Some(c) => j = c,
+                    None => return None,
+                },
+                ";" => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    fn parse_block(&self, open: usize, close: usize) -> Block {
+        Block {
+            exprs: self.parse_exprs(open + 1, close),
+            span: Span {
+                start: self.toks[open].start,
+                end: self.toks[close].end,
+            },
+        }
+    }
+
+    fn parse_exprs(&self, start: usize, end: usize) -> Vec<Expr> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < end {
+            let t = self.text(i);
+            // Attributes inside blocks: skip wholesale.
+            if t == "#" && self.is(i + 1, "[") {
+                i = self.closer(i + 1, end).map_or(i + 1, |c| c + 1);
+                continue;
+            }
+            match t {
+                "for" | "while" => {
+                    // Header runs to the first top-level `{` (struct
+                    // literals are not legal in loop headers).
+                    let mut j = i + 1;
+                    let mut body_open = None;
+                    while j < end {
+                        match self.text(j) {
+                            "(" | "[" => match self.closer(j, end) {
+                                Some(c) => j = c + 1,
+                                None => break,
+                            },
+                            "{" => {
+                                body_open = Some(j);
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    let Some(ob) = body_open else {
+                        i += 1;
+                        continue;
+                    };
+                    let Some(cb) = self.closer(ob, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    let kind = if t == "for" {
+                        LoopKind::For
+                    } else {
+                        LoopKind::While
+                    };
+                    out.push(Expr::Loop {
+                        kind,
+                        header: self.parse_exprs(i + 1, ob),
+                        body: self.parse_block(ob, cb),
+                        span: self.tok_span(i),
+                    });
+                    i = cb + 1;
+                }
+                "loop" if self.is(i + 1, "{") => {
+                    let Some(cb) = self.closer(i + 1, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    out.push(Expr::Loop {
+                        kind: LoopKind::Loop,
+                        header: Vec::new(),
+                        body: self.parse_block(i + 1, cb),
+                        span: self.tok_span(i),
+                    });
+                    i = cb + 1;
+                }
+                "{" => match self.closer(i, end) {
+                    Some(c) => {
+                        out.push(Expr::Block(self.parse_block(i, c)));
+                        i = c + 1;
+                    }
+                    None => i += 1,
+                },
+                "[" => match self.closer(i, end) {
+                    Some(c) => {
+                        out.push(Expr::Group {
+                            exprs: self.parse_exprs(i + 1, c),
+                            span: self.tok_span(i).to(self.tok_span(c)),
+                        });
+                        i = c + 1;
+                    }
+                    None => i += 1,
+                },
+                _ => match self.parse_postfix(i, end) {
+                    Some((e, ni)) => {
+                        out.push(e);
+                        i = ni;
+                    }
+                    None => i += 1,
+                },
+            }
+        }
+        out
+    }
+
+    fn parse_postfix(&self, at: usize, end: usize) -> Option<(Expr, usize)> {
+        let (mut e, mut i) = self.parse_primary(at, end)?;
+        while i < end {
+            match self.text(i) {
+                "." if i + 1 < end
+                    && matches!(self.kind(i + 1), Some(TokenKind::Ident | TokenKind::Number)) =>
+                {
+                    let name = self.text(i + 1).to_string();
+                    let mut j = i + 2;
+                    // Turbofish: .collect::<Vec<_>>()
+                    if self.is(j, ":") && self.is(j + 1, ":") && self.is(j + 2, "<") {
+                        match self.skip_angles(j + 2, end) {
+                            Some(n) => j = n,
+                            None => {
+                                // Malformed; treat as a field and stop.
+                                e = Expr::Field {
+                                    base: Box::new(e),
+                                    name,
+                                    span: self.tok_span(i + 1),
+                                };
+                                i += 2;
+                                continue;
+                            }
+                        }
+                    }
+                    if self.is(j, "(") {
+                        if let Some(c) = self.closer(j, end) {
+                            let span = e.span().to(self.tok_span(c));
+                            e = Expr::MethodCall {
+                                recv: Box::new(e),
+                                name,
+                                args: self.parse_args(j, c),
+                                span,
+                            };
+                            i = c + 1;
+                            continue;
+                        }
+                    }
+                    let span = e.span().to(self.tok_span(i + 1));
+                    e = Expr::Field {
+                        base: Box::new(e),
+                        name,
+                        span,
+                    };
+                    i += 2;
+                }
+                "(" => {
+                    let Some(c) = self.closer(i, end) else { break };
+                    let span = e.span().to(self.tok_span(c));
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args: self.parse_args(i, c),
+                        span,
+                    };
+                    i = c + 1;
+                }
+                "!" if matches!(e, Expr::Path { .. })
+                    && i + 1 < end
+                    && matches!(self.text(i + 1), "(" | "[" | "{") =>
+                {
+                    let Some(c) = self.closer(i + 1, end) else {
+                        break;
+                    };
+                    let name = match &e {
+                        Expr::Path { segs, .. } => segs.last().cloned().unwrap_or_default(),
+                        _ => String::new(),
+                    };
+                    let span = e.span().to(self.tok_span(c));
+                    e = Expr::Macro {
+                        name,
+                        args: self.parse_exprs(i + 2, c),
+                        span,
+                    };
+                    i = c + 1;
+                }
+                "?" => i += 1,
+                "[" => match self.closer(i, end) {
+                    Some(c) => i = c + 1, // indexing: skip the index
+                    None => break,
+                },
+                _ => break,
+            }
+        }
+        Some((e, i))
+    }
+
+    fn parse_primary(&self, at: usize, end: usize) -> Option<(Expr, usize)> {
+        match self.kind(at)? {
+            TokenKind::Str => Some((
+                Expr::StrLit {
+                    value: cook_str(self.text(at)),
+                    span: self.tok_span(at),
+                },
+                at + 1,
+            )),
+            TokenKind::Ident if !STMT_KEYWORDS.contains(&self.text(at)) => {
+                let mut segs = vec![self.text(at).to_string()];
+                let mut j = at + 1;
+                let mut last = at;
+                while j + 1 < end
+                    && self.is(j, ":")
+                    && self.is(j + 1, ":")
+                    && self.toks[j].end == self.toks[j + 1].start
+                {
+                    let k = j + 2;
+                    if k < end
+                        && self.kind(k) == Some(TokenKind::Ident)
+                        && !STMT_KEYWORDS.contains(&self.text(k))
+                    {
+                        segs.push(self.text(k).to_string());
+                        last = k;
+                        j = k + 1;
+                    } else if k < end && self.is(k, "<") {
+                        // Mid-path turbofish: Vec::<u8>::new
+                        match self.skip_angles(k, end) {
+                            Some(n) => j = n,
+                            None => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                Some((
+                    Expr::Path {
+                        segs,
+                        span: self.tok_span(at).to(self.tok_span(last)),
+                    },
+                    j,
+                ))
+            }
+            TokenKind::Punct if self.is(at, "(") => {
+                let c = self.closer(at, end)?;
+                Some((
+                    Expr::Group {
+                        exprs: self.parse_exprs(at + 1, c),
+                        span: self.tok_span(at).to(self.tok_span(c)),
+                    },
+                    c + 1,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Splits `( … )` arguments at top-level commas; each argument that
+    /// parses to exactly one expression is that expression, anything
+    /// messier becomes a [`Expr::Group`].
+    fn parse_args(&self, open: usize, close: usize) -> Vec<Expr> {
+        let mut out = Vec::new();
+        let mut i = open + 1;
+        let mut piece = i;
+        let mut angle = 0i32;
+        while i < close {
+            match self.text(i) {
+                "(" | "[" | "{" => {
+                    match self.closer(i, close) {
+                        Some(c) => i = c + 1,
+                        None => i += 1,
+                    }
+                    continue;
+                }
+                // Turbofish generics can hold commas: f(Vec::<(A, B)>::new()).
+                "<" if i > open + 1 && self.text(i - 1) == ":" => angle += 1,
+                ">" if angle > 0 && self.text(i - 1) != "-" => angle -= 1,
+                "," if angle == 0 => {
+                    self.push_arg(piece, i, &mut out);
+                    piece = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.push_arg(piece, close, &mut out);
+        out
+    }
+
+    fn push_arg(&self, start: usize, end: usize, out: &mut Vec<Expr>) {
+        if start >= end {
+            return;
+        }
+        let mut exprs = self.parse_exprs(start, end);
+        if exprs.len() == 1 {
+            out.push(exprs.pop().expect("len checked"));
+        } else {
+            let span = self.tok_span(start).to(self.tok_span(end - 1));
+            out.push(Expr::Group { exprs, span });
+        }
+    }
+}
+
+/// Strips string-literal prefixes, hash fences, and quotes, returning the
+/// raw contents (escape sequences left as written).
+fn cook_str(raw: &str) -> String {
+    let mut s = raw;
+    if let Some(r) = s.strip_prefix('b') {
+        s = r;
+    }
+    let mut hashes = 0usize;
+    if let Some(r) = s.strip_prefix('r') {
+        s = r;
+        while let Some(r2) = s.strip_prefix('#') {
+            s = r2;
+            hashes += 1;
+        }
+    }
+    let mut s = s.strip_prefix('"').unwrap_or(s);
+    for _ in 0..hashes {
+        s = s.strip_suffix('#').unwrap_or(s);
+    }
+    s.strip_suffix('"').unwrap_or(s).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::match_delims;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> AstFile {
+        let lexed = lex(src);
+        let close = match_delims(&lexed, src);
+        parse_file(src, &lexed, &close)
+    }
+
+    /// Collects (name, argc) for every call/method-call in an expr tree.
+    fn calls(exprs: &[Expr], out: &mut Vec<(String, usize)>) {
+        for e in exprs {
+            match e {
+                Expr::Call { callee, args, .. } => {
+                    if let Expr::Path { segs, .. } = callee.as_ref() {
+                        out.push((segs.last().cloned().unwrap_or_default(), args.len()));
+                    }
+                    calls(args, out);
+                }
+                Expr::MethodCall {
+                    recv, name, args, ..
+                } => {
+                    out.push((name.clone(), args.len()));
+                    calls(std::slice::from_ref(recv.as_ref()), out);
+                    calls(args, out);
+                }
+                Expr::Field { base, .. } => calls(std::slice::from_ref(base.as_ref()), out),
+                Expr::Macro { args, .. } | Expr::Group { exprs: args, .. } => calls(args, out),
+                Expr::Loop { header, body, .. } => {
+                    calls(header, out);
+                    calls(&body.exprs, out);
+                }
+                Expr::Block(b) => calls(&b.exprs, out),
+                Expr::Path { .. } | Expr::StrLit { .. } => {}
+            }
+        }
+    }
+
+    fn fn_calls(f: &FnItem) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        if let Some(b) = &f.body {
+            calls(&b.exprs, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn items_fns_impls_mods() {
+        let src = r#"
+            pub struct Store { x: u32 }
+            impl Store {
+                pub fn open(dir: &Path) -> Self { Store { x: 0 } }
+                fn helper(&mut self, n: u32) { self.x = n; }
+            }
+            impl fmt::Debug for Store {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {}
+            }
+            pub fn free() {}
+        "#;
+        let ast = parse(src);
+        let mut impls = Vec::new();
+        let mut mods = Vec::new();
+        let mut frees = Vec::new();
+        for it in &ast.items {
+            match it {
+                Item::Impl(i) => impls.push(i),
+                Item::Mod(m) => mods.push(m),
+                Item::Fn(f) => frees.push(f),
+                Item::Other => {}
+            }
+        }
+        assert_eq!(impls.len(), 2);
+        assert_eq!(impls[0].type_name, "Store");
+        assert_eq!(impls[0].trait_name, None);
+        assert_eq!(impls[1].type_name, "Store");
+        assert_eq!(impls[1].trait_name.as_deref(), Some("Debug"));
+        let open = match &impls[0].items[0] {
+            Item::Fn(f) => f,
+            other => panic!("expected fn, got {other:?}"),
+        };
+        assert_eq!(open.name, "open");
+        assert!(open.is_pub);
+        assert_eq!(open.params[0].name, "dir");
+        assert!(open.params[0].ty.contains("Path"));
+        let helper = match &impls[0].items[1] {
+            Item::Fn(f) => f,
+            other => panic!("expected fn, got {other:?}"),
+        };
+        assert_eq!(helper.params[0].name, "self");
+        assert_eq!(helper.params[1].name, "n");
+        assert_eq!(mods.len(), 1);
+        assert!(mods[0].cfg_test);
+        assert_eq!(frees.len(), 1);
+        assert_eq!(frees[0].name, "free");
+        assert!(frees[0].is_pub);
+    }
+
+    #[test]
+    fn method_chains_and_calls() {
+        let src = r#"
+            fn f(obs: &Obs) {
+                obs.counter("wal.appends_total").inc();
+                self.wal.append(payload)?;
+                crate::slo::observe(obs, "context", "query.context.latency_us");
+                let v = Vec::<u8>::new();
+                items.iter().map(|x| x.weight()).collect::<Vec<_>>();
+            }
+        "#;
+        let ast = parse(src);
+        let f = match &ast.items[0] {
+            Item::Fn(f) => f,
+            other => panic!("expected fn, got {other:?}"),
+        };
+        let got = fn_calls(f);
+        assert!(got.contains(&("counter".into(), 1)));
+        assert!(got.contains(&("inc".into(), 0)));
+        assert!(got.contains(&("append".into(), 1)));
+        assert!(got.contains(&("observe".into(), 3)));
+        assert!(got.contains(&("new".into(), 0)));
+        assert!(got.contains(&("collect".into(), 0)));
+        assert!(got.contains(&("weight".into(), 0)));
+    }
+
+    #[test]
+    fn loops_capture_header_and_body() {
+        let src = r#"
+            fn g(&self) {
+                for n in self.graph.nodes() {
+                    self.visit(n);
+                }
+                while queue.pop().is_some() {}
+                loop { break; }
+            }
+        "#;
+        let ast = parse(src);
+        let f = match &ast.items[0] {
+            Item::Fn(f) => f,
+            other => panic!("expected fn, got {other:?}"),
+        };
+        let body = f.body.as_ref().expect("body");
+        let kinds: Vec<LoopKind> = body
+            .exprs
+            .iter()
+            .filter_map(|e| match e {
+                Expr::Loop { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![LoopKind::For, LoopKind::While, LoopKind::Loop]);
+        let Expr::Loop { header, body, .. } = &body.exprs[0] else {
+            panic!("expected loop");
+        };
+        let mut hdr = Vec::new();
+        calls(header, &mut hdr);
+        assert!(hdr.contains(&("nodes".into(), 0)));
+        let mut inner = Vec::new();
+        calls(&body.exprs, &mut inner);
+        assert!(inner.contains(&("visit".into(), 1)));
+    }
+
+    #[test]
+    fn macros_and_string_literals() {
+        let src = r#"
+            fn h(obs: &Obs, name: &str) {
+                obs.histogram(&format!("bench.query.{name}.latency_us"));
+                assert_eq!(compute(1), 2);
+            }
+        "#;
+        let ast = parse(src);
+        let f = match &ast.items[0] {
+            Item::Fn(f) => f,
+            other => panic!("expected fn, got {other:?}"),
+        };
+        let body = f.body.as_ref().expect("body");
+        // histogram's single arg is the format! macro (after `&`).
+        let Expr::MethodCall { name, args, .. } = &body.exprs[0] else {
+            panic!("expected method call, got {:?}", body.exprs[0]);
+        };
+        assert_eq!(name, "histogram");
+        assert_eq!(args.len(), 1);
+        let Expr::Macro { name, args, .. } = &args[0] else {
+            panic!("expected macro arg, got {:?}", args[0]);
+        };
+        assert_eq!(name, "format");
+        let Expr::StrLit { value, .. } = &args[0] else {
+            panic!("expected str literal");
+        };
+        assert_eq!(value, "bench.query.{name}.latency_us");
+        // Calls inside macros are visible.
+        let got = fn_calls(f);
+        assert!(got.contains(&("compute".into(), 1)));
+    }
+
+    #[test]
+    fn chains_render_receivers() {
+        let src = "fn f(&self) { self.graph.add_node(n); state.shared.read(); }";
+        let ast = parse(src);
+        let f = match &ast.items[0] {
+            Item::Fn(f) => f,
+            other => panic!("expected fn, got {other:?}"),
+        };
+        let body = f.body.as_ref().expect("body");
+        let Expr::MethodCall { recv, name, .. } = &body.exprs[0] else {
+            panic!("expected method call");
+        };
+        assert_eq!(name, "add_node");
+        assert_eq!(recv.chain().as_deref(), Some("self.graph"));
+        let Expr::MethodCall { recv, name, .. } = &body.exprs[1] else {
+            panic!("expected method call");
+        };
+        assert_eq!(name, "read");
+        assert_eq!(recv.chain().as_deref(), Some("state.shared"));
+        assert_eq!(recv.last_ident(), Some("shared"));
+    }
+
+    #[test]
+    fn cook_str_variants() {
+        assert_eq!(cook_str("\"abc\""), "abc");
+        assert_eq!(cook_str("r#\"a\"b\"#"), "a\"b");
+        assert_eq!(cook_str("b\"xyz\""), "xyz");
+    }
+
+    #[test]
+    fn test_attr_marks_fn() {
+        let src = "#[test]\nfn t() {}\npub fn real() {}";
+        let ast = parse(src);
+        let flags: Vec<(String, bool)> = ast
+            .items
+            .iter()
+            .filter_map(|it| match it {
+                Item::Fn(f) => Some((f.name.clone(), f.is_test)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            flags,
+            vec![("t".to_string(), true), ("real".to_string(), false)]
+        );
+    }
+}

@@ -85,13 +85,21 @@ fn label(browser: &ProvenanceBrowser, node: NodeId) -> String {
 /// Picks the most narratively useful derivation edge of a node: user
 /// actions outrank automatic bookkeeping, and temporal overlap is never a
 /// derivation.
+///
+/// A hub node's in-degree is unbounded (a page revisited thousands of
+/// times has that many parent edges), so the scan is deadline-checked and
+/// returns the best edge found so far when time runs out.
 fn narrative_parent(
     browser: &ProvenanceBrowser,
     node: NodeId,
+    deadline: &crate::slo::Deadline,
 ) -> Option<(EdgeId, NodeId, EdgeKind)> {
     let graph = browser.graph();
     let mut best: Option<(EdgeId, NodeId, EdgeKind)> = None;
     for (eid, parent) in graph.parents(node) {
+        if deadline.expired() {
+            break;
+        }
         let kind = graph.edge(eid).ok()?.kind();
         if !kind.is_causal() {
             continue;
@@ -150,7 +158,7 @@ pub fn describe_origin(
             ));
             break;
         }
-        let Some((_, parent, kind)) = narrative_parent(browser, current) else {
+        let Some((_, parent, kind)) = narrative_parent(browser, current, &deadline) else {
             break;
         };
         // Skip the instance_of hop's page object in the narrative: the
@@ -159,7 +167,12 @@ pub fn describe_origin(
         current = parent;
         steps += 1;
     }
-    if (bounded || steps == config.max_steps) && narrative_parent(browser, current).is_some() {
+    // When the deadline bounded the walk we already know hops went
+    // unnarrated (and the expired deadline would cut the re-scan short
+    // anyway); only the step-cap case needs to probe for a further parent.
+    if bounded
+        || (steps == config.max_steps && narrative_parent(browser, current, &deadline).is_some())
+    {
         let _ = writeln!(out, "  … (chain continues)");
     }
     pstage.rows(1, steps);

@@ -373,11 +373,59 @@ fn run_serve_smoke(addr: &str) -> Result<bool, String> {
             }
         }
     }
+    match check_trace_exemplars(addr) {
+        Ok(id) => eprintln!("bench: serve-smoke tracing: exemplar {id} resolved via /tracez?id="),
+        Err(e) => {
+            ok = false;
+            eprintln!("bench: serve-smoke tracing FAILED: {e}");
+        }
+    }
     eprintln!(
         "bench: serve-smoke {}",
         if ok { "passed" } else { "FAILED" }
     );
     Ok(ok)
+}
+
+/// The request-tracing smoke: `/metrics.json` must expose histogram
+/// exemplars for the query-latency families, and at least one exemplar's
+/// trace ID must resolve through `/tracez?id=`. CI boots the daemon with
+/// `--inject-latency-us`, so every query is a retained deadline miss and
+/// the newest exemplar is always findable; polled because the first
+/// query pass has to land before any exemplar exists. Returns the
+/// resolved trace ID.
+fn check_trace_exemplars(addr: &str) -> Result<String, String> {
+    const QUERY_HISTOGRAMS: [&str; 3] = [
+        "query.context.latency_us",
+        "query.textual.latency_us",
+        "query.timectx.latency_us",
+    ];
+    let clock = ClockHandle::real();
+    let started = clock.start();
+    let mut last = String::from("no exemplars seen yet");
+    while started.elapsed() < std::time::Duration::from_secs(60) {
+        let (status, body) = http_get(addr, "/metrics.json")?;
+        if status == 200 {
+            let doc = bp_obs::json::parse(&body)
+                .map_err(|e| format!("/metrics.json does not parse: {e:?}"))?;
+            let ids: Vec<String> = QUERY_HISTOGRAMS
+                .iter()
+                .filter_map(|name| doc.get("histograms")?.get(name)?.get("exemplars"))
+                .filter_map(|exemplars| exemplars.as_array())
+                .flatten()
+                .filter_map(|ex| ex.get("trace_id")?.as_str().map(str::to_owned))
+                .collect();
+            for id in ids {
+                let (status, by_id) = http_get(addr, &format!("/tracez?id={id}"))?;
+                if status == 200 && by_id.contains(&id) {
+                    return Ok(id);
+                }
+                last = format!("exemplar {id} not (or no longer) retained");
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    Err(last)
 }
 
 fn run(raw: &[String]) -> Result<bool, String> {

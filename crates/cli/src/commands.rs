@@ -8,7 +8,7 @@ use bp_core::{eventlog, CaptureConfig, ProvenanceBrowser};
 use bp_graph::dot::{to_dot, DotOptions};
 use bp_graph::stats::stats;
 use bp_graph::traverse::Budget;
-use bp_obs::{expo, profile, trace, Obs};
+use bp_obs::{expo, profile, trace, ClockHandle, Obs};
 use bp_query::{
     contextual_history_search, downloads_descending_from, find_download,
     first_recognizable_ancestor, personalize_query, textual_history_search, time_contextual_search,
@@ -64,6 +64,9 @@ Common options:
   --budget MS     query deadline in milliseconds (default unlimited)
   --trace         (search/personalize/when/lineage/query) print a span
                   tree with per-stage timings after the results
+  --trace-id      (same commands) assign the run a request trace ID and
+                  print it; log lines, histogram exemplars, and retained
+                  /tracez records of the run all carry the same ID
   --explain       (query) print the EXPLAIN profile: per-stage wall time,
                   rows in/out, node/edge touches, budget use, truncation
   --explain-json  (query) the same profile as JSON
@@ -136,10 +139,20 @@ pub(crate) fn export_metrics(args: &Args) {
 
 /// Runs `f` with span collection enabled when `--trace` was passed and
 /// returns its result plus the rendered span tree (empty without the
-/// flag).
+/// flag). `--trace-id` additionally mints a request trace context up
+/// front — the run's log lines, exemplars, and tail-sampler record all
+/// share the printed ID, usable against `/tracez?id=` and flight dumps.
 fn with_trace<R>(args: &Args, f: impl FnOnce() -> R) -> (R, String) {
+    let ctx = args
+        .has("trace-id")
+        .then(|| trace::enter_new(&ClockHandle::real()));
+    let id_note = ctx
+        .as_ref()
+        .and_then(|guard| guard.context())
+        .map(|c| format!("\ntrace id: {}\n", trace::format_trace_id(c.trace_id)))
+        .unwrap_or_default();
     if !args.has("trace") {
-        return (f(), String::new());
+        return (f(), id_note);
     }
     trace::set_enabled(true);
     let _ = trace::take_roots();
@@ -149,6 +162,7 @@ fn with_trace<R>(args: &Args, f: impl FnOnce() -> R) -> (R, String) {
     for root in trace::take_roots() {
         rendered.push_str(&root.render());
     }
+    rendered.push_str(&id_note);
     (result, rendered)
 }
 
@@ -862,6 +876,21 @@ mod tests {
         assert!(out.contains("hits"), "{out}");
         assert!(run_line(&format!("query --profile {profile} timectx news")).is_err());
         assert!(run_line(&format!("query --profile {profile} lineage /nope.bin")).is_err());
+
+        // --trace-id prints the minted request ID in the canonical 16-hex
+        // format, and the ID is findable in the tail sampler afterwards.
+        let out = run_line(&format!(
+            "query --profile {profile} context news --trace-id"
+        ))
+        .unwrap();
+        let id_line = out
+            .lines()
+            .find(|l| l.starts_with("trace id: "))
+            .unwrap_or_else(|| panic!("no trace id line in {out}"));
+        let hex = id_line.trim_start_matches("trace id: ");
+        assert_eq!(hex.len(), 16, "{id_line}");
+        let id = bp_obs::trace::parse_trace_id(hex).expect("id parses");
+        assert!(id != 0);
 
         // --explain prints the per-stage table with every plan stage, the
         // budget story, and the (other) remainder row.

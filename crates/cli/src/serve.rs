@@ -12,7 +12,8 @@
 //! | `/metrics.json`   | the same registry as JSON                         |
 //! | `/healthz`        | liveness: WAL dir writable, capture thread alive  |
 //! | `/readyz`         | readiness: warmed up, queue drained, snapshots on |
-//! | `/tracez`         | recent query span trees                           |
+//! | `/tracez`         | recent query span trees; `?min_ms=&path=&id=`     |
+//! |                   | (plus `format=json`) searches tail-sampled traces |
 //! | `/profilez`       | recent query EXPLAIN profiles                     |
 //! | `/debug/flightz`  | the in-memory flight-recorder dump                |
 //! | `/debug/panicz`   | (only with `--allow-debug-panic`) crash a worker  |
@@ -33,7 +34,7 @@ use crate::signals;
 use bp_core::{CaptureConfig, CapturePipeline, ProvenanceBrowser, SharedBrowser};
 use bp_graph::traverse::Budget;
 use bp_obs::slo::{SloConfig, SloEngine};
-use bp_obs::{expo, flight, httpx, log, profile, trace, ClockHandle, Obs};
+use bp_obs::{expo, flight, httpx, log, profile, sampler, trace, ClockHandle, Obs};
 use bp_query::{
     contextual_history_search, first_recognizable_ancestor, personalize_query,
     textual_history_search, time_contextual_search, ContextualConfig, LineageConfig,
@@ -193,10 +194,58 @@ fn handle(state: &ServeState, request: &httpx::Request) -> httpx::Response {
             Ok(()) => httpx::Response::text(200, "ready\n"),
             Err(reason) => httpx::Response::text(503, format!("not ready: {reason}\n")),
         },
-        "/tracez" => httpx::Response::text(
-            200,
-            ServeState::render_ring(&state.traces, "# no traces collected yet"),
-        ),
+        "/tracez" => {
+            if request.query.is_empty() {
+                // Legacy view: the periodic span-tree ring.
+                httpx::Response::text(
+                    200,
+                    ServeState::render_ring(&state.traces, "# no traces collected yet"),
+                )
+            } else {
+                // `?min_ms=&path=&id=&format=json` searches the tail
+                // sampler's retained traces.
+                let mut min_us = None;
+                let mut path_filter = None;
+                let mut id = None;
+                let mut json = false;
+                for pair in request.query.split('&').filter(|p| !p.is_empty()) {
+                    let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+                    match key {
+                        "min_ms" => min_us = value.parse::<u64>().ok().map(|ms| ms * 1_000),
+                        "path" => path_filter = Some(value.to_owned()),
+                        "id" => id = trace::parse_trace_id(value),
+                        "format" => json = value == "json",
+                        _ => {}
+                    }
+                }
+                let matches = sampler::global().search(min_us, path_filter.as_deref(), id);
+                if json {
+                    let body = format!(
+                        "{{\"traces\":[{}]}}",
+                        matches
+                            .iter()
+                            .map(sampler::TraceRecord::to_json)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    );
+                    httpx::Response::json(200, body)
+                } else {
+                    let mut body = format!("# {} retained traces matched\n", matches.len());
+                    for record in &matches {
+                        body.push_str(&record.render_line());
+                        body.push('\n');
+                        // Exact-ID lookups include the span tree when one
+                        // was captured for that request.
+                        if id.is_some() {
+                            if let Some(tree) = &record.tree {
+                                body.push_str(tree);
+                            }
+                        }
+                    }
+                    httpx::Response::text(200, body)
+                }
+            }
+        }
         "/profilez" => httpx::Response::text(
             200,
             ServeState::render_ring(&state.profiles, "# no profiles collected yet"),
@@ -224,10 +273,15 @@ fn handle(state: &ServeState, request: &httpx::Request) -> httpx::Response {
 /// event-log generation with a fresh seed (and shifted timestamps) each
 /// pass so capture never idles for as long as the daemon runs.
 fn feeder_loop(state: &ServeState, days: u32, seed: u64) {
+    let clock = ClockHandle::real();
     let web = calibrate::paper_web(seed);
     let cycle_span = Duration::from_secs(u64::from(days) + 1) * 86_400;
     let mut cycle: u64 = 0;
     while !state.stopping() {
+        // One trace context per replay cycle: the cycle's log lines and
+        // every capture-thread ingest of its events share the ID (the
+        // context rides each submitted event across the queue).
+        let _ctx = trace::enter_new(&clock);
         let events = calibrate::days_history(&web, seed.wrapping_add(cycle), days);
         log::info(
             "bp_cli::serve",
@@ -296,6 +350,11 @@ fn run_query_pass(state: &ServeState, inject: Duration, pass: u64) {
         if state.stopping() {
             break;
         }
+        // One trace context per request: the query path reuses it (via
+        // `trace::ensure`), its root span, log lines, histogram exemplars,
+        // and tail-sampler record all share this ID.
+        let ctx = trace::enter_new(&clock);
+        let trace_id = ctx.context().map(|c| c.trace_id);
         let sw = clock.start();
         match name {
             "context" => {
@@ -348,6 +407,19 @@ fn run_query_pass(state: &ServeState, inject: Duration, pass: u64) {
         let good = elapsed <= QUERY_DEADLINE;
         state.slo.record(good);
         if !good {
+            // The serve-level deadline includes injected latency the query
+            // path itself never saw, so offer the miss here too — the tail
+            // sampler retains every deadline miss unconditionally.
+            if let Some(trace_id) = trace_id {
+                sampler::global().offer(sampler::TraceRecord {
+                    trace_id,
+                    path: name,
+                    elapsed_us: elapsed.as_micros() as u64,
+                    outcome: sampler::TraceOutcome::DeadlineMiss,
+                    unix_ms: 0,
+                    tree: None,
+                });
+            }
             log::warn(
                 "bp_cli::serve",
                 "query missed the interactive deadline",
@@ -357,6 +429,7 @@ fn run_query_pass(state: &ServeState, inject: Duration, pass: u64) {
                 ],
             );
         }
+        drop(ctx);
     }
     drop(browser);
     if sample_debug {
@@ -364,6 +437,13 @@ fn run_query_pass(state: &ServeState, inject: Duration, pass: u64) {
         profile::set_enabled(false);
         let roots = trace::take_roots();
         if !roots.is_empty() {
+            for root in &roots {
+                // Opportunistic: when this request's record survived the
+                // tail decision, its `/tracez?id=` entry gains the tree.
+                if let Some(id) = root.trace_id {
+                    sampler::global().attach_tree(id, root.render());
+                }
+            }
             let rendered: String = roots.iter().map(|r| r.render()).collect();
             ServeState::push_ring(&state.traces, rendered);
         }

@@ -128,6 +128,9 @@ impl ProvenanceBrowser {
         &mut self,
         events: impl IntoIterator<Item = &'a BrowserEvent>,
     ) -> CoreResult<usize> {
+        // One trace context per batch (reused when the caller already has
+        // one): every log line the batch emits shares one trace ID.
+        let _ctx = bp_obs::trace::ensure(&bp_obs::ClockHandle::real());
         let mut n = 0;
         for event in events {
             self.ingest(event)?;

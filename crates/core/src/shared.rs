@@ -73,7 +73,10 @@ impl SharedBrowser {
 }
 
 enum Message {
-    Event(Box<BrowserEvent>),
+    /// An event plus the trace context active on the submitting thread,
+    /// so the capture thread's ingest (and any error it logs) carries the
+    /// same trace ID as the request that enqueued the work.
+    Event(Box<BrowserEvent>, Option<bp_obs::trace::Context>),
     Flush(Sender<()>),
     Shutdown,
 }
@@ -137,13 +140,25 @@ impl CapturePipeline {
         let handle = std::thread::spawn(move || {
             for message in receiver {
                 match message {
-                    Message::Event(event) => {
+                    Message::Event(event, context) => {
+                        // Re-enter the submitter's trace context for the
+                        // duration of the ingest: cross-thread propagation
+                        // across the queue hand-off.
+                        let _ctx = context.map(bp_obs::trace::enter);
                         let result = thread_shared.with_mut(|b| b.ingest(&event));
                         thread_depth.sub(1);
                         match result {
                             Ok(_) => {}
-                            Err(CoreError::BadEvent(_)) => {
+                            Err(CoreError::BadEvent(reason)) => {
                                 *thread_rejected.lock() += 1;
+                                // With the submitter's context re-entered
+                                // above, this line carries the trace ID of
+                                // the request that enqueued the bad event.
+                                bp_obs::log::warn(
+                                    "bp_core::shared",
+                                    "capture pipeline rejected event",
+                                    &[("reason", reason)],
+                                );
                             }
                             Err(other) => {
                                 bp_obs::log::error(
@@ -183,7 +198,10 @@ impl CapturePipeline {
     /// Enqueues an event; returns `false` if the pipeline has stopped.
     pub fn submit(&self, event: BrowserEvent) -> bool {
         self.queue_depth.add(1);
-        let sent = self.sender.send(Message::Event(Box::new(event))).is_ok();
+        let sent = self
+            .sender
+            .send(Message::Event(Box::new(event), bp_obs::trace::current()))
+            .is_ok();
         if !sent {
             self.queue_depth.sub(1);
         }
@@ -382,6 +400,79 @@ mod tests {
             100
         );
         assert!(b.graph().verify_acyclic());
+    }
+
+    #[test]
+    fn trace_context_crosses_the_capture_queue() {
+        // Several submitter threads, each under its own trace context,
+        // enqueue events the capture thread will reject (navigations in
+        // never-opened tabs). The rejection log line is emitted on the
+        // *capture* thread, so it proves the submitter's context crossed
+        // the queue hand-off: each line's trace_id must match the context
+        // that enqueued that event (the tab number pairs them up).
+        let dir = TempDir::new("tracectx");
+        let pipeline = CapturePipeline::start(browser(&dir));
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                let pipeline = &pipeline;
+                scope.spawn(move || {
+                    let ctx = bp_obs::trace::Context {
+                        trace_id: 0xCAFE_0000 + i,
+                        sampled_hint: false,
+                    };
+                    let _guard = bp_obs::trace::enter(ctx);
+                    for n in 0..8u64 {
+                        // Tab number encodes the submitting context.
+                        assert!(pipeline.submit(BrowserEvent::navigate(
+                            t((i * 100 + n) as i64),
+                            TabId(100 + i as u32),
+                            format!("http://bad{i}-{n}/"),
+                            None,
+                            NavigationCause::Link,
+                        )));
+                    }
+                });
+            }
+        });
+        pipeline.flush();
+        assert_eq!(pipeline.rejected_events(), 32);
+        let entries = bp_obs::flight::global().snapshot();
+        let mut matched = 0;
+        for entry in &entries {
+            if entry.event.target != "bp_core::shared"
+                || entry.event.message != "capture pipeline rejected event"
+            {
+                continue;
+            }
+            let reason = entry
+                .event
+                .fields
+                .iter()
+                .find(|(k, _)| k == "reason")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("");
+            let Some(i) = (0..4u64).find(|i| reason.contains(&format!("tab{} ", 100 + i))) else {
+                continue; // a rejection from some other concurrent test
+            };
+            let expected = bp_obs::trace::format_trace_id(0xCAFE_0000 + i);
+            let stamped = entry
+                .event
+                .fields
+                .iter()
+                .find(|(k, _)| k == "trace_id")
+                .map(|(_, v)| v.clone());
+            assert_eq!(
+                stamped,
+                Some(expected),
+                "capture-thread log must carry the submitter's trace ID"
+            );
+            matched += 1;
+        }
+        assert!(
+            matched >= 32,
+            "all 32 rejections should surface in the flight recorder, saw {matched}"
+        );
+        drop(pipeline.shutdown());
     }
 
     #[test]

@@ -130,7 +130,9 @@ pub fn expand(
         let mut next: HashMap<NodeId, f64> = HashMap::new();
         for &(node, w) in &frontier {
             if let Some((ref t0, limit)) = clock {
-                if t0.elapsed() > limit {
+                // `>=` so a zero deadline expires on the first check
+                // despite the stopwatch's microsecond resolution.
+                if t0.elapsed() >= limit {
                     out.truncated = true;
                     return out;
                 }

@@ -192,8 +192,11 @@ pub fn bfs(
         if let Some((ref t0, limit)) = clock {
             // Check the clock every node; traversal steps are cheap enough
             // that a stopwatch read per node keeps us well within the
-            // 200 ms bound with negligible overhead.
-            if t0.elapsed() > limit {
+            // 200 ms bound with negligible overhead. `>=` so a zero
+            // deadline is expired from the first check — the stopwatch's
+            // whole-microsecond resolution would otherwise let a small
+            // walk finish inside the first tick without truncating.
+            if t0.elapsed() >= limit {
                 truncated = true;
                 break;
             }

@@ -106,6 +106,18 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
         let _ = writeln!(out, "{name}_p50 {}", hist.p50());
         let _ = writeln!(out, "{name}_p95 {}", hist.p95());
         let _ = writeln!(out, "{name}_p99 {}", hist.p99());
+        // Exemplars as comment annotations: the classic text format has no
+        // exemplar syntax (that's OpenMetrics), and comments keep every
+        // scraper happy while still carrying bucket → trace-ID links.
+        for ex in &hist.exemplars {
+            let le = crate::metrics::bucket_bounds(ex.bucket).1;
+            let _ = writeln!(
+                out,
+                "# EXEMPLAR {name}_bucket{{le=\"{le}\"}} trace_id={} value={}",
+                crate::trace::format_trace_id(ex.trace_id),
+                ex.value
+            );
+        }
     }
     out
 }
@@ -177,7 +189,7 @@ pub fn render_json(snap: &RegistrySnapshot) -> String {
         first = false;
         let _ = write!(
             out,
-            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}",
             json_escape(name),
             hist.count,
             hist.sum,
@@ -186,6 +198,26 @@ pub fn render_json(snap: &RegistrySnapshot) -> String {
             hist.p95(),
             hist.p99()
         );
+        // The exemplars key appears exactly when the histogram has any:
+        // `le` is the bucket's inclusive upper bound, `trace_id` the
+        // canonical 16-hex-digit form `/tracez?id=` accepts.
+        if !hist.exemplars.is_empty() {
+            out.push_str(", \"exemplars\": [");
+            for (i, ex) in hist.exemplars.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"le\": {}, \"trace_id\": \"{}\", \"value\": {}}}",
+                    crate::metrics::bucket_bounds(ex.bucket).1,
+                    crate::trace::format_trace_id(ex.trace_id),
+                    ex.value
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push_str("\n  }\n}\n");
     out
@@ -467,5 +499,60 @@ mod tests {
     fn sanitize_prefixes_leading_digits() {
         assert_eq!(sanitize("2xx.responses"), "_2xx_responses");
         assert_eq!(sanitize("ok.name"), "ok_name");
+    }
+
+    #[test]
+    fn exemplars_render_in_both_expositions() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("query.context.latency_us");
+        {
+            let _ctx = crate::trace::enter(crate::trace::Context {
+                trace_id: 0xbeef,
+                sampled_hint: false,
+            });
+            h.record(900); // bucket [512, 1023], le 1023
+        }
+        h.record(150); // untraced: no exemplar for this bucket
+
+        let snap = r.snapshot();
+        let hist = &snap.histograms["query.context.latency_us"];
+        assert_eq!(hist.exemplars.len(), 1);
+        assert_eq!(hist.exemplars[0].trace_id, 0xbeef);
+        assert_eq!(hist.exemplars[0].value, 900);
+
+        let text = render_prometheus(&snap);
+        assert!(
+            text.contains(
+                "# EXEMPLAR query_context_latency_us_bucket{le=\"1023\"} \
+                 trace_id=000000000000beef value=900"
+            ),
+            "{text}"
+        );
+
+        let json = render_json(&snap);
+        assert!(
+            json.contains("\"exemplars\": [{\"le\": 1023, \"trace_id\": \"000000000000beef\", \"value\": 900}]"),
+            "{json}"
+        );
+        assert!(crate::json::parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn exemplars_do_not_leak_through_snapshot_persistence() {
+        let r = MetricsRegistry::new();
+        {
+            let _ctx = crate::trace::enter(crate::trace::Context {
+                trace_id: 0xfeed,
+                sampled_hint: false,
+            });
+            r.histogram("h").record(40);
+        }
+        let exported = export_snapshot(&r.snapshot());
+        assert!(!exported.contains("feed"), "{exported}");
+        let target = MetricsRegistry::new();
+        import_snapshot(&target, &exported).unwrap();
+        let merged = target.snapshot();
+        assert!(merged.histograms["h"].exemplars.is_empty());
+        assert_eq!(merged.histograms["h"].count, 1);
     }
 }

@@ -22,6 +22,9 @@
 //!   filtering; accepted events also land in the [`flight`] recorder.
 //! * [`flight`] — a ring buffer of the last ~4k log/span events, dumped on
 //!   panic, `SIGUSR1`, or `/debug/flightz`.
+//! * [`sampler`] — tail-based trace retention: deadline-missed,
+//!   truncated, and errored requests are always kept, a deterministic
+//!   1-in-N of the rest, in a bounded searchable ring behind `/tracez`.
 //! * [`slo`] — error-budget tracking with multi-window burn-rate rules
 //!   over the paper's 200 ms query deadline.
 //! * [`httpx`] — a dependency-free HTTP/1.1 server for the `serve`
@@ -44,6 +47,7 @@ pub mod json;
 pub mod log;
 mod metrics;
 pub mod profile;
+pub mod sampler;
 pub mod slo;
 pub mod trace;
 
@@ -51,8 +55,8 @@ pub use clock::{unix_time_ms, Clock, ClockHandle, MockClock, RealClock, Stopwatc
 pub use journal::{Journal, JournalEvent, Level};
 pub use log::{LogEvent, LogLevel};
 pub use metrics::{
-    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
-    RegistrySnapshot, HISTOGRAM_BUCKETS,
+    bucket_bounds, bucket_index, BucketExemplar, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, RegistrySnapshot, HISTOGRAM_BUCKETS,
 };
 
 use std::sync::{Arc, OnceLock};

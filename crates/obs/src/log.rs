@@ -194,12 +194,15 @@ pub fn enabled(level: LogLevel, target: &str) -> bool {
 
 /// Emits one structured event (if the filter accepts it): records it in
 /// the flight recorder and — when enabled — writes one JSON line to
-/// stderr.
+/// stderr. When a [`crate::trace::Context`] is active on the emitting
+/// thread the event gains a trailing `trace_id` field, so every log line
+/// and flight-recorder entry of a request carries its identity without
+/// call sites threading it by hand.
 pub fn log(level: LogLevel, target: &str, message: &str, fields: &[(&str, String)]) {
     if !enabled(level, target) {
         return;
     }
-    let event = LogEvent {
+    let mut event = LogEvent {
         unix_ms: unix_time_ms(),
         level,
         target: target.to_owned(),
@@ -209,6 +212,11 @@ pub fn log(level: LogLevel, target: &str, message: &str, fields: &[(&str, String
             .map(|(k, v)| ((*k).to_owned(), v.clone()))
             .collect(),
     };
+    if let Some(id) = crate::trace::current_id() {
+        event
+            .fields
+            .push(("trace_id".to_owned(), crate::trace::format_trace_id(id)));
+    }
     crate::flight::global().record_log(&event);
     if logger().stderr.load(Ordering::Relaxed) {
         // The logger's own sink: the one sanctioned raw-stderr write in a
@@ -300,6 +308,36 @@ mod tests {
             &[("n", "1".to_owned())],
         );
         assert!(crate::flight::global().total_recorded() > before);
+    }
+
+    #[test]
+    fn active_context_stamps_log_and_flight_entries() {
+        let _ctx = crate::trace::enter(crate::trace::Context {
+            trace_id: 0x1dea,
+            sampled_hint: false,
+        });
+        log(
+            LogLevel::Error,
+            "bp_log_test_ctx",
+            "stamped",
+            &[("k", "v".to_owned())],
+        );
+        let entry = crate::flight::global()
+            .snapshot()
+            .into_iter()
+            .rev()
+            .find(|e| e.event.target == "bp_log_test_ctx")
+            .expect("event retained");
+        assert_eq!(
+            entry
+                .event
+                .fields
+                .last()
+                .map(|(k, v)| (k.as_str(), v.as_str())),
+            Some(("trace_id", "0000000000001dea"))
+        );
+        // The caller's own fields survive ahead of the stamp.
+        assert_eq!(entry.event.fields[0].0, "k");
     }
 
     #[test]

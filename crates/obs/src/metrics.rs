@@ -120,8 +120,18 @@ pub fn bucket_bounds(idx: usize) -> (u64, u64) {
 /// A lock-free log₂-bucketed histogram of `u64` samples (typically
 /// microseconds). Records are constant-time; quantiles come from a
 /// [`HistogramSnapshot`].
+///
+/// When a [`crate::trace::Context`] is active on the recording thread,
+/// each bucket also remembers the last trace ID + value that landed in
+/// it — the *exemplar* that lets a dashboard jump from a latency bucket
+/// to one concrete retained trace. The (id, value) pair is written with
+/// two relaxed stores: a racing pair may interleave the ID of one sample
+/// with the value of another, but both landed in the same bucket, so
+/// either combination is a valid exemplar of that bucket.
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    exemplar_ids: [AtomicU64; HISTOGRAM_BUCKETS],
+    exemplar_values: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -131,6 +141,8 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            exemplar_ids: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            exemplar_values: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -139,12 +151,19 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Records one sample.
+    /// Records one sample. When a trace context is active on this thread,
+    /// the sample's bucket adopts it as the bucket's exemplar (trace IDs
+    /// are never zero, so a zero slot means "no exemplar yet").
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let idx = bucket_index(value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+        if let Some(id) = crate::trace::current_id() {
+            self.exemplar_ids[idx].store(id, Ordering::Relaxed);
+            self.exemplar_values[idx].store(value, Ordering::Relaxed);
+        }
     }
 
     /// Records a [`std::time::Duration`] in microseconds.
@@ -164,11 +183,23 @@ impl Histogram {
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            exemplars: (0..HISTOGRAM_BUCKETS)
+                .filter_map(|i| {
+                    let trace_id = self.exemplar_ids[i].load(Ordering::Relaxed);
+                    (trace_id != 0).then(|| BucketExemplar {
+                        bucket: i,
+                        trace_id,
+                        value: self.exemplar_values[i].load(Ordering::Relaxed),
+                    })
+                })
+                .collect(),
         }
     }
 
     /// Folds another histogram's snapshot into this one (used when merging
-    /// metrics persisted by an earlier process).
+    /// metrics persisted by an earlier process). Exemplars are *not*
+    /// merged: a trace ID from an earlier process points at a trace ring
+    /// that no longer exists, so carrying it over would mint dead links.
     pub fn merge(&self, other: &HistogramSnapshot) {
         for (i, n) in other.buckets.iter().enumerate() {
             if *n > 0 {
@@ -192,6 +223,17 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
+/// One bucket's exemplar: the last traced sample that landed in it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketExemplar {
+    /// Bucket index (see [`bucket_bounds`]).
+    pub bucket: usize,
+    /// Trace ID of the sample (never zero).
+    pub trace_id: u64,
+    /// The sample value itself.
+    pub value: u64,
+}
+
 /// An immutable copy of a [`Histogram`]'s state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -203,6 +245,10 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest sample seen.
     pub max: u64,
+    /// Per-bucket exemplars (only buckets that have one), ascending by
+    /// bucket index. Ephemeral: not persisted by the snapshot format and
+    /// not carried by [`Histogram::merge`].
+    pub exemplars: Vec<BucketExemplar>,
 }
 
 impl HistogramSnapshot {
@@ -213,6 +259,7 @@ impl HistogramSnapshot {
             count: 0,
             sum: 0,
             max: 0,
+            exemplars: Vec::new(),
         }
     }
 

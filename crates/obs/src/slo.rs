@@ -229,14 +229,23 @@ impl SloEngine {
                 self.config.objective * 100.0,
             );
             self.obs.journal().record(Level::Error, message.clone());
-            log::error(
-                "bp_obs::slo",
-                &message,
-                &[
-                    ("short_burn", format!("{short_burn:.3}")),
-                    ("long_burn", format!("{long_burn:.3}")),
-                ],
-            );
+            // Name names: the tail sampler always retains deadline-missed
+            // traces, so the alert line links straight to the worst
+            // offenders an operator should pull up via `/tracez?id=`.
+            let worst = crate::sampler::global()
+                .worst_offenders(3)
+                .into_iter()
+                .map(|(id, _)| crate::trace::format_trace_id(id))
+                .collect::<Vec<_>>()
+                .join(",");
+            let mut fields = vec![
+                ("short_burn", format!("{short_burn:.3}")),
+                ("long_burn", format!("{long_burn:.3}")),
+            ];
+            if !worst.is_empty() {
+                fields.push(("worst_traces", worst));
+            }
+            log::error("bp_obs::slo", &message, &fields);
         } else if !condition && inner.firing {
             inner.firing = false;
             log::info(
@@ -341,6 +350,41 @@ mod tests {
             engine.evaluate();
         }
         assert_eq!(obs.counter("bp_slo_alerts_total").get(), 2);
+    }
+
+    #[test]
+    fn fast_burn_alert_names_the_worst_retained_traces() {
+        // Seed the process-global tail sampler with a deadline-missed
+        // trace, then trip the latch: the alert's log event must carry a
+        // `worst_traces` field naming that trace ID.
+        let miss_id: u64 = 0x5105_u64 << 32 | 0xfeed;
+        crate::sampler::global().offer(crate::sampler::TraceRecord {
+            trace_id: miss_id,
+            path: "query.slo_test",
+            elapsed_us: 987_654,
+            outcome: crate::sampler::TraceOutcome::DeadlineMiss,
+            unix_ms: 1,
+            tree: None,
+        });
+        let (engine, mock, _obs) = engine();
+        for _ in 0..30 {
+            mock.advance(Duration::from_secs(1));
+            engine.record(false);
+            engine.evaluate();
+        }
+        let hex = crate::trace::format_trace_id(miss_id);
+        let entry = crate::flight::global()
+            .snapshot()
+            .into_iter()
+            .rev()
+            .find(|e| {
+                e.event.target == "bp_obs::slo"
+                    && e.event
+                        .fields
+                        .iter()
+                        .any(|(k, v)| k == "worst_traces" && v.contains(&hex))
+            });
+        assert!(entry.is_some(), "alert line should name trace {hex}");
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! rendering as an indented tree with per-stage timings.
 
 use crate::clock::{ClockHandle, Stopwatch};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -25,6 +26,144 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Head-sampling hint period: [`Context::generate`] sets `sampled_hint`
+/// on a deterministic 1-in-this fraction of trace IDs. The hint lets a
+/// layer opt into extra per-request work (e.g. span collection) up front;
+/// the *retention* decision is the tail sampler's and happens at request
+/// end with the outcome in hand.
+pub const SAMPLE_HINT_EVERY: u64 = 16;
+
+/// A request-scoped identity that flows with the work: stamped onto root
+/// spans, structured log lines, flight-recorder events, and histogram
+/// exemplars while active on the current thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Context {
+    /// Nonzero request identifier (rendered as 16 hex digits everywhere).
+    pub trace_id: u64,
+    /// Head-sampling hint (deterministic 1-in-[`SAMPLE_HINT_EVERY`]).
+    pub sampled_hint: bool,
+}
+
+/// Renders a trace ID the one canonical way (16 lowercase hex digits) so
+/// logs, `/tracez`, exemplars, and the CLI agree byte-for-byte.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses [`format_trace_id`] output (also accepts plain decimal).
+pub fn parse_trace_id(text: &str) -> Option<u64> {
+    let text = text.trim();
+    u64::from_str_radix(text, 16)
+        .ok()
+        .or_else(|| text.parse().ok())
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed bijection on `u64`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Context {
+    /// Generates a fresh context from a clock reading mixed with a
+    /// process-wide counter (two concurrent entry points that read the
+    /// same microsecond still get distinct IDs) and a per-process seed.
+    /// The seed matters: the monotonic clock counts from *process
+    /// start*, so without wall-clock + pid entropy two one-shot CLI
+    /// invocations that mint their first ID at the same startup offset
+    /// would collide exactly. IDs are never zero.
+    pub fn generate(clock: &ClockHandle) -> Context {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        static SEED: OnceLock<u64> = OnceLock::new();
+        let seed = *SEED.get_or_init(|| {
+            splitmix64(crate::clock::unix_time_ms() ^ u64::from(std::process::id()).rotate_left(40))
+        });
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut id = splitmix64(clock.now_micros().rotate_left(20) ^ n ^ seed);
+        if id == 0 {
+            id = 1;
+        }
+        Context {
+            trace_id: id,
+            sampled_hint: id.is_multiple_of(SAMPLE_HINT_EVERY),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<Context>> = const { Cell::new(None) };
+}
+
+/// The context active on this thread, if any.
+pub fn current() -> Option<Context> {
+    CURRENT.with(Cell::get)
+}
+
+/// The active trace ID on this thread, if any.
+pub fn current_id() -> Option<u64> {
+    current().map(|c| c.trace_id)
+}
+
+/// Installs `context` on this thread until the guard drops (the previous
+/// context, if any, is restored — contexts nest like spans do).
+#[must_use = "the context deactivates when this guard drops"]
+pub fn enter(context: Context) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(context)));
+    ContextGuard {
+        installed: Some(context),
+        restore: Some(prev),
+    }
+}
+
+/// Generates a fresh context from `clock` and installs it.
+#[must_use = "the context deactivates when this guard drops"]
+pub fn enter_new(clock: &ClockHandle) -> ContextGuard {
+    enter(Context::generate(clock))
+}
+
+/// Enters a fresh context only when none is active: entry points call
+/// this unconditionally, so a path invoked inside another request (e.g.
+/// personalize running the contextual search) reuses the caller's ID
+/// instead of minting a second one.
+#[must_use = "the context deactivates when this guard drops"]
+pub fn ensure(clock: &ClockHandle) -> ContextGuard {
+    if current().is_some() {
+        ContextGuard {
+            installed: None,
+            restore: None,
+        }
+    } else {
+        enter_new(clock)
+    }
+}
+
+/// Restores the previously active context on drop. A guard returned by
+/// [`ensure`] under an already-active context restores nothing.
+#[derive(Debug)]
+pub struct ContextGuard {
+    /// What this guard installed (`None` for a no-op guard).
+    installed: Option<Context>,
+    /// `Some(prev)` to restore on drop; `None` for a no-op guard.
+    restore: Option<Option<Context>>,
+}
+
+impl ContextGuard {
+    /// The context this guard installed (`None` for a no-op guard).
+    pub fn context(&self) -> Option<Context> {
+        self.installed
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.restore.take() {
+            CURRENT.with(|c| c.set(prev));
+        }
+    }
+}
+
 /// One finished span: a named duration with nested child spans.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SpanNode {
@@ -35,6 +174,9 @@ pub struct SpanNode {
     /// Free-form annotation attached via [`note`] while the span was open
     /// (e.g. `truncated: deadline hit, ~12 items remaining`).
     pub note: Option<String>,
+    /// The request [`Context`] ID active when this span closed as a root
+    /// (`None` for child spans and for roots closed outside any context).
+    pub trace_id: Option<u64>,
     /// Spans opened (and closed) while this one was open.
     pub children: Vec<SpanNode>,
 }
@@ -45,6 +187,9 @@ impl SpanNode {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "{}  {:.3?}", self.name, self.duration);
+        if let Some(id) = self.trace_id {
+            let _ = write!(out, "  trace={}", format_trace_id(id));
+        }
         if let Some(note) = &self.note {
             let _ = write!(out, "  [{note}]");
         }
@@ -169,14 +314,16 @@ impl SpanGuard {
                 name: open.name,
                 duration: duration_override.unwrap_or_else(|| open.start.elapsed()),
                 note: open.note,
+                trace_id: None,
                 children: open.children,
             })
         });
-        let Some(node) = node else { return };
+        let Some(mut node) = node else { return };
         STACK.with(|stack| {
             if let Some(parent) = stack.borrow_mut().last_mut() {
                 parent.children.push(node);
             } else {
+                node.trace_id = current_id();
                 ROOTS.with(|roots| roots.borrow_mut().push(node));
             }
         });
@@ -313,5 +460,86 @@ mod tests {
         let names: Vec<_> = roots.iter().map(|r| r.name).collect();
         assert_eq!(names, vec!["one", "two"]);
         assert!(take_roots().is_empty());
+    }
+
+    #[test]
+    fn generated_ids_are_distinct_and_nonzero() {
+        let (clock, _mock) = ClockHandle::mock();
+        // Even with a frozen clock the process counter keeps IDs apart.
+        let a = Context::generate(&clock);
+        let b = Context::generate(&clock);
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_the_canonical_format() {
+        let id = 0x0123_4567_89ab_cdef;
+        let text = format_trace_id(id);
+        assert_eq!(text.len(), 16);
+        assert_eq!(parse_trace_id(&text), Some(id));
+        assert_eq!(parse_trace_id("42"), Some(0x42));
+        assert_eq!(parse_trace_id("zz"), None);
+    }
+
+    #[test]
+    fn contexts_nest_and_restore() {
+        assert_eq!(current(), None);
+        let outer = Context {
+            trace_id: 7,
+            sampled_hint: false,
+        };
+        let inner = Context {
+            trace_id: 9,
+            sampled_hint: true,
+        };
+        {
+            let g1 = enter(outer);
+            assert_eq!(current(), Some(outer));
+            assert_eq!(g1.context(), Some(outer));
+            {
+                let _g2 = enter(inner);
+                assert_eq!(current_id(), Some(9));
+            }
+            assert_eq!(current(), Some(outer), "inner guard restores outer");
+        }
+        assert_eq!(current(), None, "outer guard restores empty");
+    }
+
+    #[test]
+    fn ensure_reuses_an_active_context() {
+        let clock = ClockHandle::real();
+        let g1 = ensure(&clock);
+        let id = current_id().expect("ensure installed a context");
+        {
+            let g2 = ensure(&clock);
+            assert_eq!(g2.context(), None, "nested ensure is a no-op guard");
+            assert_eq!(current_id(), Some(id));
+        }
+        assert_eq!(current_id(), Some(id));
+        drop(g1);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn root_spans_are_stamped_with_the_active_trace_id() {
+        let roots = with_tracing(|| {
+            let _ctx = enter(Context {
+                trace_id: 0xabcd,
+                sampled_hint: false,
+            });
+            {
+                let _root = span("stamped");
+                let _child = span("child");
+            }
+            take_roots()
+        });
+        assert_eq!(roots[0].trace_id, Some(0xabcd));
+        assert_eq!(roots[0].children[0].trace_id, None, "children unstamped");
+        assert!(
+            roots[0].render().contains("trace=000000000000abcd"),
+            "{}",
+            roots[0].render()
+        );
     }
 }

@@ -97,6 +97,7 @@ pub fn contextual_history_search(
     query: &str,
     config: &ContextualConfig,
 ) -> QueryResult {
+    let _ctx = trace::ensure(&config.clock);
     let span = trace::span("query.context");
     let prof = profile::begin(&CONTEXT_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
@@ -229,6 +230,7 @@ pub fn contextual_history_search_ppr(
     config: &ContextualConfig,
     pagerank: &bp_graph::pagerank::PageRankConfig,
 ) -> QueryResult {
+    let _ctx = trace::ensure(&config.clock);
     let span = trace::span("query.context_ppr");
     let prof = profile::begin(&PPR_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
@@ -338,6 +340,7 @@ pub fn textual_history_search(
     query: &str,
     config: &ContextualConfig,
 ) -> QueryResult {
+    let _ctx = trace::ensure(&config.clock);
     let span = trace::span("query.textual");
     // The baseline deliberately runs unbounded — it exists to show what
     // the paper's "currently" behavior costs, budget and all.

@@ -127,6 +127,7 @@ pub fn describe_origin(
     key: &str,
     config: &DescribeConfig,
 ) -> Option<String> {
+    let _ctx = trace::ensure(&config.clock);
     let span = trace::span("query.describe");
     let prof = profile::begin(&DESCRIBE_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());

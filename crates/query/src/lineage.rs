@@ -74,6 +74,7 @@ pub fn first_recognizable_ancestor(
     download: NodeId,
     config: &LineageConfig,
 ) -> Option<LineageAnswer> {
+    let _ctx = trace::ensure(&config.clock);
     let span = trace::span("query.lineage");
     let prof = profile::begin(&LINEAGE_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());

@@ -82,6 +82,7 @@ pub fn personalize_query(
     query: &str,
     config: &PersonalizeConfig,
 ) -> ExpandedQuery {
+    let _ctx = trace::ensure(&config.contextual.clock);
     let span = trace::span("query.personalize");
     let prof = profile::begin(
         &PERSONALIZE_PLAN,

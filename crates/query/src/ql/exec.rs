@@ -99,8 +99,47 @@ pub fn execute(
     query: &Query,
     budget: &Budget,
 ) -> Result<Rows, ExecError> {
+    let clock = ClockHandle::real();
+    let _ctx = trace::ensure(&clock);
     let span = trace::span("query.ql");
-    let sw = ClockHandle::real().start();
+    let sw = clock.start();
+    // Selector resolution can fail mid-shape; running it behind this
+    // boundary keeps the `?` early returns from skipping the span close
+    // and the tail-sampler offer (errored requests are always retained).
+    let result = execute_shape(browser, query, budget);
+    let elapsed = sw.elapsed();
+    match result {
+        Ok((rows, truncated)) => {
+            crate::slo::observe(
+                browser.obs(),
+                "ql",
+                "query.ql.latency_us",
+                elapsed,
+                budget.deadline(),
+                truncated,
+            );
+            span.finish_with(elapsed);
+            Ok(Rows {
+                rows,
+                elapsed,
+                truncated,
+            })
+        }
+        Err(e) => {
+            crate::slo::offer_error_to_sampler("ql", elapsed);
+            span.finish_with(elapsed);
+            Err(e)
+        }
+    }
+}
+
+/// The shape match itself: resolves selectors (fallibly), traverses, and
+/// applies filters and the limit. Returns `(rows, truncated)`.
+fn execute_shape(
+    browser: &ProvenanceBrowser,
+    query: &Query,
+    budget: &Budget,
+) -> Result<(Vec<Row>, bool), ExecError> {
     let graph = browser.graph();
     let mut truncated = false;
     let candidates: Vec<Row> = match &query.shape {
@@ -193,21 +232,7 @@ pub fn execute(
     if let Some(limit) = query.limit {
         rows.truncate(limit);
     }
-    let elapsed = sw.elapsed();
-    crate::slo::observe(
-        browser.obs(),
-        "ql",
-        "query.ql.latency_us",
-        elapsed,
-        budget.deadline(),
-        truncated,
-    );
-    span.finish_with(elapsed);
-    Ok(Rows {
-        rows,
-        elapsed,
-        truncated,
-    })
+    Ok((rows, truncated))
 }
 
 /// Parses and executes a query string in one step.
@@ -419,6 +444,32 @@ mod tests {
             &Budget::new()
         )
         .is_err());
+    }
+
+    #[test]
+    fn errors_still_close_the_span_and_reach_the_sampler() {
+        // Regression: selector-resolution `?` returns used to drop the
+        // root span without finishing it (no elapsed, no tail-sampler
+        // offer). Errored runs must now close `query.ql` and land in the
+        // process-wide sampler as always-kept `error` records.
+        let tb = history("errspan");
+        trace::set_enabled(true);
+        let _ = trace::take_roots();
+        let err = run(&tb.browser, "ancestors(#9999)", &Budget::new());
+        let roots = trace::take_roots();
+        trace::set_enabled(false);
+        assert!(err.is_err());
+        assert!(
+            roots.iter().any(|r| r.name == "query.ql"),
+            "error path must still close the root span: {roots:?}"
+        );
+        let retained = bp_obs::sampler::global().retained();
+        assert!(
+            retained
+                .iter()
+                .any(|r| r.path == "ql" && r.outcome == bp_obs::sampler::TraceOutcome::Error),
+            "errored request must be retained by the tail sampler"
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub(crate) fn observe(
     truncated: bool,
 ) {
     obs.histogram(latency_metric).record_duration(elapsed);
+    offer_to_sampler(use_case, elapsed, deadline, truncated);
     let Some(deadline) = deadline else { return };
     if truncated {
         obs.counter("query.deadline.bounded").inc();
@@ -96,6 +97,52 @@ pub(crate) fn observe(
             ],
         );
     }
+}
+
+/// Hands the finished request to the process-wide tail sampler (when a
+/// trace context is active): the outcome-aware retention decision behind
+/// `/tracez`. Deadline misses outrank truncation — a truncated query that
+/// *still* blew its budget is the worse story.
+pub(crate) fn offer_to_sampler(
+    use_case: &'static str,
+    elapsed: Duration,
+    deadline: Option<Duration>,
+    truncated: bool,
+) {
+    let Some(trace_id) = bp_obs::trace::current_id() else {
+        return;
+    };
+    let outcome = if deadline.is_some_and(|d| elapsed > d) {
+        bp_obs::sampler::TraceOutcome::DeadlineMiss
+    } else if truncated {
+        bp_obs::sampler::TraceOutcome::Truncated
+    } else {
+        bp_obs::sampler::TraceOutcome::Ok
+    };
+    bp_obs::sampler::global().offer(bp_obs::sampler::TraceRecord {
+        trace_id,
+        path: use_case,
+        elapsed_us: elapsed.as_micros() as u64,
+        outcome,
+        unix_ms: 0,
+        tree: None,
+    });
+}
+
+/// The failure-path variant: the request errored out, which the tail
+/// sampler retains unconditionally.
+pub(crate) fn offer_error_to_sampler(use_case: &'static str, elapsed: Duration) {
+    let Some(trace_id) = bp_obs::trace::current_id() else {
+        return;
+    };
+    bp_obs::sampler::global().offer(bp_obs::sampler::TraceRecord {
+        trace_id,
+        path: use_case,
+        elapsed_us: elapsed.as_micros() as u64,
+        outcome: bp_obs::sampler::TraceOutcome::Error,
+        unix_ms: 0,
+        tree: None,
+    });
 }
 
 #[cfg(test)]

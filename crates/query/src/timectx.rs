@@ -65,6 +65,7 @@ pub fn time_contextual_search(
     companion: &str,
     config: &TimeContextConfig,
 ) -> QueryResult {
+    let _ctx = trace::ensure(&config.clock);
     let span = trace::span("query.timectx");
     let prof = profile::begin(&TIMECTX_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());

@@ -294,6 +294,115 @@ fn forced_worker_panic_writes_complete_flight_dump() {
     serve.terminate_cleanly();
 }
 
+/// The request-tracing acceptance path, end to end: a forced deadline
+/// miss must leave a retained trace in `/tracez` findable by `?min_ms=`
+/// and `?id=`, the same trace ID stamped on the structured log line in
+/// the flight recorder, a histogram exemplar in `/metrics.json` pointing
+/// at a retained trace, and the fast-burn alert line naming the worst
+/// retained offenders.
+#[test]
+fn deadline_miss_traces_are_retrievable_end_to_end() {
+    let serve = ServeChild::spawn(
+        "tracing",
+        &[
+            "--days",
+            "2",
+            "--inject-latency-us",
+            "300000",
+            "--query-interval-ms",
+            "20",
+        ],
+    );
+    serve.wait_for("/readyz", Duration::from_secs(60), |s, _| s == 200);
+
+    // 1. A deadline-missed trace is retained and searchable by latency
+    //    floor; the same ID resolves via `?id=`. The retention ring
+    //    churns quickly under the injected-latency barrage, so pick the
+    //    newest match and retry the pair until a lookup lands.
+    let waited = ClockHandle::real().start();
+    let trace_id = loop {
+        assert!(
+            waited.elapsed() < Duration::from_secs(60),
+            "no deadline-miss trace became retrievable by id"
+        );
+        let found = serve
+            .get("/tracez?min_ms=250")
+            .ok()
+            .filter(|(status, _)| *status == 200)
+            .and_then(|(_, body)| {
+                let line = body.lines().rfind(|l| l.contains("deadline_miss"))?;
+                let id = line.split_ascii_whitespace().next()?.to_owned();
+                assert_eq!(id.len(), 16, "trace IDs render as 16 hex digits: {line}");
+                let (status, by_id) = serve.get(&format!("/tracez?id={id}")).ok()?;
+                (status == 200 && by_id.contains(&id) && by_id.contains("deadline_miss"))
+                    .then_some(id)
+            });
+        if let Some(id) = found {
+            break id;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    // 2. The same ID is stamped on the structured deadline-miss log line
+    //    held by the flight recorder (fetched promptly: the flight ring
+    //    holds ~4k events and the miss barrage churns it).
+    let (status, flight) = serve.get("/debug/flightz").expect("flight dump");
+    assert_eq!(status, 200);
+    let stamp = format!("\"trace_id\":\"{trace_id}\"");
+    assert!(
+        flight.contains(&stamp),
+        "flight recorder lost the trace stamp {trace_id}"
+    );
+
+    // 3. `/metrics.json` carries histogram exemplars for the query-latency
+    //    families, each pointing at a trace by its canonical ID.
+    let body = serve.wait_for("/metrics.json", Duration::from_secs(30), |s, body| {
+        s == 200 && body.contains("\"exemplars\":")
+    });
+    let doc = bp_obs::json::parse(&body).expect("metrics.json parses");
+    let histograms = doc.get("histograms").expect("histograms object");
+    let exemplar_id = [
+        "query.context.latency_us",
+        "query.textual.latency_us",
+        "query.timectx.latency_us",
+    ]
+    .iter()
+    .find_map(|name| {
+        histograms
+            .get(name)?
+            .get("exemplars")?
+            .as_array()?
+            .first()?
+            .get("trace_id")?
+            .as_str()
+            .map(str::to_owned)
+    })
+    .expect("a query-latency histogram carries an exemplar");
+    assert_eq!(exemplar_id.len(), 16, "{exemplar_id}");
+
+    // 4. The fast-burn alert line names the worst retained offenders.
+    serve.wait_for("/metrics", Duration::from_secs(60), |s, body| {
+        s == 200 && metric(body, "bp_slo_alerts_total").unwrap_or(0.0) >= 1.0
+    });
+    let (status, flight) = serve.get("/debug/flightz").expect("flight after alert");
+    assert_eq!(status, 200);
+    let alert_line = flight
+        .lines()
+        .find(|l| l.contains("SLO fast burn:") && l.contains("\"worst_traces\""))
+        .expect("fast-burn alert line with worst_traces reached the flight recorder");
+    let worst = alert_line
+        .split("\"worst_traces\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("worst_traces parses");
+    assert!(
+        worst.split(',').all(|id| id.len() == 16),
+        "worst_traces must be canonical trace IDs: {worst}"
+    );
+
+    serve.terminate_cleanly();
+}
+
 /// `--inject-latency-us 300000` pushes every query past the 200 ms
 /// deadline; the fast-burn rule must trip exactly once (the alert is
 /// latched) and the burn-rate gauges must report the saturated burn.

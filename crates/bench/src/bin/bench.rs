@@ -7,12 +7,20 @@
 //! ```text
 //! cargo run -p bp-bench --release --bin bench                    # paper scale (79 days)
 //! cargo run -p bp-bench --release --bin bench -- --days 7        # CI quick run
+//! cargo run -p bp-bench --release --bin bench -- --jobs 4        # parallel PageRank
 //! cargo run -p bp-bench --release --bin bench -- --days 7 \
 //!     --compare BENCH_baseline.json --threshold 20               # regression gate
 //! ```
 //!
 //! `--compare` exits nonzero when any path's p95 grew past the threshold
-//! (default 20%) and the `--floor-us` noise floor.
+//! (default 20%) and the `--floor-us` noise floor. On top of that broad
+//! sweep, the relevance paths (`context`/`ppr`/`personalize`) are held to
+//! the tighter `--gate-threshold` (default 15%) over `--gate-floor-us`
+//! (default 100) — they carry the frozen-graph perf headline.
+//!
+//! `--jobs N` sets the PageRank worker count via the traversal budget;
+//! the report's `frozen` section records it alongside snapshot-build and
+//! score-cache telemetry.
 //!
 //! `--serve-smoke HOST:PORT` switches to smoke-testing a running
 //! `browserprov serve` daemon instead: every observability endpoint is
@@ -22,7 +30,9 @@
 
 use bp_bench::fixtures::{history, TempProfile};
 use bp_bench::relschema::RelationalProvenance;
-use bp_bench::report::{compare, median_us, BenchReport, LatencySummary, StoreSizes};
+use bp_bench::report::{
+    compare, compare_paths, median_us, BenchReport, FrozenStats, LatencySummary, StoreSizes,
+};
 use bp_core::{CaptureConfig, ProvenanceBrowser};
 use bp_obs::profile::Profile;
 use bp_obs::{profile, ClockHandle, Obs};
@@ -36,13 +46,20 @@ use bp_sim::web::TOPICS;
 use bp_storage::SyncPolicy;
 use std::collections::BTreeMap;
 
+/// The query paths the frozen-graph work accelerates; `--compare` holds
+/// these to the tighter `--gate-threshold` on top of the broad sweep.
+const RELEVANCE_PATHS: [&str; 3] = ["context", "ppr", "personalize"];
+
 struct Options {
     days: u32,
     runs: u64,
+    jobs: usize,
     out_dir: String,
     compare_with: Option<String>,
     threshold_pct: f64,
     floor_us: u64,
+    gate_threshold_pct: f64,
+    gate_floor_us: u64,
     serve_smoke: Option<String>,
 }
 
@@ -50,10 +67,13 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         days: 79,
         runs: 40,
+        jobs: 1,
         out_dir: ".".to_owned(),
         compare_with: None,
         threshold_pct: 20.0,
         floor_us: 0,
+        gate_threshold_pct: 15.0,
+        gate_floor_us: 100,
         serve_smoke: None,
     };
     let mut i = 0;
@@ -69,6 +89,13 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
             }
             "--runs" => {
                 opts.runs = value(i)?.parse().map_err(|_| "--runs must be a number")?;
+                i += 2;
+            }
+            "--jobs" => {
+                opts.jobs = value(i)?.parse().map_err(|_| "--jobs must be a number")?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
                 i += 2;
             }
             "--out-dir" => {
@@ -89,6 +116,18 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
                 opts.floor_us = value(i)?
                     .parse()
                     .map_err(|_| "--floor-us must be a number")?;
+                i += 2;
+            }
+            "--gate-threshold" => {
+                opts.gate_threshold_pct = value(i)?
+                    .parse()
+                    .map_err(|_| "--gate-threshold must be a number")?;
+                i += 2;
+            }
+            "--gate-floor-us" => {
+                opts.gate_floor_us = value(i)?
+                    .parse()
+                    .map_err(|_| "--gate-floor-us must be a number")?;
                 i += 2;
             }
             "--serve-smoke" => {
@@ -179,7 +218,12 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
     profile::set_enabled(true);
     let _ = profile::take();
     let mut stage_samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
-    let contextual = ContextualConfig::default();
+    // `--jobs` reaches the parallel PageRank kernel through the traversal
+    // budget; scores are bit-identical at any worker count.
+    let mut contextual = ContextualConfig::default();
+    contextual.budget = contextual.budget.clone().with_jobs(opts.jobs);
+    let mut personalize = PersonalizeConfig::default();
+    personalize.contextual.budget = personalize.contextual.budget.clone().with_jobs(opts.jobs);
     let runs = opts.runs as usize;
     for run in 0..runs {
         let term = terms[run % terms.len()];
@@ -208,7 +252,7 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
             textual_history_search(&browser, term, &contextual).elapsed,
         );
         let t0 = clock.start();
-        let _ = personalize_query(&browser, term, &PersonalizeConfig::default());
+        let _ = personalize_query(&browser, term, &personalize);
         t("personalize", t0.elapsed());
         t(
             "timectx",
@@ -228,6 +272,20 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
     }
     profile::set_enabled(false);
     eprintln!("bench: ran {} invocations per query path", opts.runs);
+
+    // Frozen-snapshot/cache telemetry, sampled before compaction so it
+    // reflects the query workload alone.
+    let (builds, build_us) = browser.frozen_stats();
+    let cache = browser.score_cache().stats();
+    let frozen = FrozenStats {
+        jobs: opts.jobs as u64,
+        builds,
+        build_us,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        cache_bytes: cache.bytes as u64,
+    };
 
     // Store sizes after compaction.
     browser.snapshot().map_err(|e| e.to_string())?;
@@ -285,6 +343,7 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
         runs_per_path: opts.runs,
         sizes,
         e1_overhead_ratio,
+        frozen,
         ingest: latency("bench.ingest.latency_us"),
         queries,
         stage_medians_us,
@@ -450,6 +509,19 @@ fn run(raw: &[String]) -> Result<bool, String> {
             q.p50_us, q.p95_us, q.p99_us, q.count
         );
     }
+    let f = &report.frozen;
+    eprintln!(
+        "bench: frozen jobs={} builds={} build_us={} cache hit-rate={:.1}% \
+         ({} hit / {} miss / {} evicted, {} bytes)",
+        f.jobs,
+        f.builds,
+        f.build_us,
+        f.hit_rate() * 100.0,
+        f.cache_hits,
+        f.cache_misses,
+        f.cache_evictions,
+        f.cache_bytes
+    );
     let Some(baseline_path) = &opts.compare_with else {
         return Ok(true);
     };
@@ -457,24 +529,52 @@ fn run(raw: &[String]) -> Result<bool, String> {
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let baseline = BenchReport::from_json(&baseline_text)
         .map_err(|e| format!("baseline {baseline_path}: {e}"))?;
+    let mut ok = true;
     let regressions = compare(&baseline, &report, opts.threshold_pct, opts.floor_us);
     if regressions.is_empty() {
         eprintln!(
             "bench: no p95 regressions vs {baseline_path} (threshold {:.0}%, floor {}us)",
             opts.threshold_pct, opts.floor_us
         );
-        return Ok(true);
+    } else {
+        ok = false;
+        eprintln!(
+            "bench: {} p95 regression(s) vs {baseline_path} (threshold {:.0}%, floor {}us):",
+            regressions.len(),
+            opts.threshold_pct,
+            opts.floor_us
+        );
+        for r in &regressions {
+            eprintln!("bench:   {r}");
+        }
     }
-    eprintln!(
-        "bench: {} p95 regression(s) vs {baseline_path} (threshold {:.0}%, floor {}us):",
-        regressions.len(),
-        opts.threshold_pct,
-        opts.floor_us
+    // The frozen-graph paths carry the perf headline; hold them to the
+    // tighter gate so a regression can't hide inside the broad tolerance.
+    let gated = compare_paths(
+        &baseline,
+        &report,
+        opts.gate_threshold_pct,
+        opts.gate_floor_us,
+        &RELEVANCE_PATHS,
     );
-    for r in &regressions {
-        eprintln!("bench:   {r}");
+    if gated.is_empty() {
+        eprintln!(
+            "bench: relevance gate clean ({}; threshold {:.0}%, floor {}us)",
+            RELEVANCE_PATHS.join("/"),
+            opts.gate_threshold_pct,
+            opts.gate_floor_us
+        );
+    } else {
+        ok = false;
+        eprintln!(
+            "bench: relevance gate FAILED (threshold {:.0}%, floor {}us):",
+            opts.gate_threshold_pct, opts.gate_floor_us
+        );
+        for r in &gated {
+            eprintln!("bench:   {r}");
+        }
     }
-    Ok(false)
+    Ok(ok)
 }
 
 fn main() {

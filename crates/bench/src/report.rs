@@ -14,7 +14,74 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Version of the `BENCH_*.json` schema. Bump on any field change.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `frozen` section (CSR snapshot builds, parallel jobs,
+/// score-cache hit/miss/evict/bytes); v1 documents parse with a default
+/// (empty) section so old baselines stay comparable.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version `from_json` still accepts.
+pub const BENCH_SCHEMA_MIN_VERSION: u64 = 1;
+
+/// Frozen-snapshot and score-cache telemetry for one run (schema v2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrozenStats {
+    /// Worker threads requested for the parallel PageRank kernel.
+    pub jobs: u64,
+    /// CSR snapshot rebuilds over the whole run.
+    pub builds: u64,
+    /// Wall time of the most recent snapshot build, microseconds.
+    pub build_us: u64,
+    /// Score-cache lookups served from cache.
+    pub cache_hits: u64,
+    /// Score-cache lookups that had to compute fresh scores.
+    pub cache_misses: u64,
+    /// Cache entries dropped (stale epoch or LRU byte pressure).
+    pub cache_evictions: u64,
+    /// Estimated cache bytes held at end of run.
+    pub cache_bytes: u64,
+}
+
+impl FrozenStats {
+    /// Cache hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"build_us\": {}, \"builds\": {}, \"cache_bytes\": {}, \
+             \"cache_evictions\": {}, \"cache_hit_rate\": {:.4}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"jobs\": {}}}",
+            self.build_us,
+            self.builds,
+            self.cache_bytes,
+            self.cache_evictions,
+            self.hit_rate(),
+            self.cache_hits,
+            self.cache_misses,
+            self.jobs
+        )
+    }
+
+    fn from_json(v: &Value) -> Option<Self> {
+        // `cache_hit_rate` is derived on render and ignored on parse.
+        Some(FrozenStats {
+            jobs: v.get("jobs")?.as_u64()?,
+            builds: v.get("builds")?.as_u64()?,
+            build_us: v.get("build_us")?.as_u64()?,
+            cache_hits: v.get("cache_hits")?.as_u64()?,
+            cache_misses: v.get("cache_misses")?.as_u64()?,
+            cache_evictions: v.get("cache_evictions")?.as_u64()?,
+            cache_bytes: v.get("cache_bytes")?.as_u64()?,
+        })
+    }
+}
 
 /// Latency distribution of one measured path, in microseconds.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -95,6 +162,9 @@ pub struct BenchReport {
     /// Relational-provenance bytes over the Places baseline (the E1
     /// headline; the paper reports 1.395).
     pub e1_overhead_ratio: f64,
+    /// Frozen-snapshot builds and score-cache traffic (schema v2;
+    /// defaults to zeros when parsing a v1 document).
+    pub frozen: FrozenStats,
     /// Per-event ingest latency.
     pub ingest: LatencySummary,
     /// Per-query-path latency, keyed by path name (all seven paths).
@@ -111,9 +181,11 @@ impl BenchReport {
         let _ = write!(
             out,
             "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"days\": {},\n  \
-             \"e1_overhead_ratio\": {:.4},\n  \"git_sha\": \"{}\",\n",
-            self.days, self.e1_overhead_ratio, self.git_sha
+             \"e1_overhead_ratio\": {:.4},\n",
+            self.days, self.e1_overhead_ratio
         );
+        let _ = writeln!(out, "  \"frozen\": {},", self.frozen.to_json());
+        let _ = writeln!(out, "  \"git_sha\": \"{}\",", self.git_sha);
         let _ = writeln!(out, "  \"ingest\": {},", self.ingest.to_json());
         let _ = write!(out, "  \"queries\": {{");
         for (i, (name, q)) in self.queries.iter().enumerate() {
@@ -157,11 +229,19 @@ impl BenchReport {
             .get("schema_version")
             .and_then(Value::as_u64)
             .ok_or("missing schema_version")?;
-        if version != BENCH_SCHEMA_VERSION {
+        if !(BENCH_SCHEMA_MIN_VERSION..=BENCH_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION})"
+                "schema_version {version} unsupported (accepted: \
+                 {BENCH_SCHEMA_MIN_VERSION}..={BENCH_SCHEMA_VERSION})"
             ));
         }
+        // v1 predates the frozen section; default it so old baselines
+        // remain usable as `--compare` inputs.
+        let frozen = match v.get("frozen") {
+            Some(f) => FrozenStats::from_json(f).ok_or("malformed frozen")?,
+            None if version < 2 => FrozenStats::default(),
+            None => return Err("missing frozen".to_owned()),
+        };
         let u = |key: &str| -> Result<u64, String> {
             v.get(key)
                 .and_then(Value::as_u64)
@@ -215,6 +295,7 @@ impl BenchReport {
                 .get("e1_overhead_ratio")
                 .and_then(Value::as_f64)
                 .ok_or("missing e1_overhead_ratio")?,
+            frozen,
             ingest: LatencySummary::from_json(v.get("ingest").ok_or("missing ingest")?)
                 .ok_or("malformed ingest")?,
             queries,
@@ -286,6 +367,23 @@ pub fn compare(
     out
 }
 
+/// Like [`compare`], but only the named paths participate. The CI
+/// relevance gate holds `context`/`ppr`/`personalize` to a tighter
+/// threshold than the broad sweep without dragging every other path
+/// down to it.
+pub fn compare_paths(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold_pct: f64,
+    floor_us: u64,
+    paths: &[&str],
+) -> Vec<Regression> {
+    compare(baseline, current, threshold_pct, floor_us)
+        .into_iter()
+        .filter(|r| paths.contains(&r.path.as_str()))
+        .collect()
+}
+
 /// Computes the median of a sample set (0 for an empty set).
 pub fn median_us(samples: &mut [u64]) -> u64 {
     if samples.is_empty() {
@@ -333,6 +431,15 @@ mod tests {
                 log_bytes: 10_000,
             },
             e1_overhead_ratio: 1.395,
+            frozen: FrozenStats {
+                jobs: 4,
+                builds: 2,
+                build_us: 1_800,
+                cache_hits: 35,
+                cache_misses: 5,
+                cache_evictions: 1,
+                cache_bytes: 65_536,
+            },
             ingest: latency.clone(),
             queries,
             stage_medians_us,
@@ -346,7 +453,10 @@ mod tests {
         let parsed = BenchReport::from_json(&text).expect("parses");
         assert_eq!(parsed, report);
         // schema_version leads the document.
-        assert!(text.trim_start().starts_with("{\n  \"schema_version\": 1"));
+        assert!(text.trim_start().starts_with("{\n  \"schema_version\": 2"));
+        // The frozen section renders its derived hit rate.
+        assert!(text.contains("\"cache_hit_rate\": 0.8750"), "{text}");
+        assert!((parsed.frozen.hit_rate() - 0.875).abs() < 1e-9);
         // All seven query paths carry percentiles.
         for path in [
             "context",
@@ -367,10 +477,54 @@ mod tests {
     fn unknown_schema_version_is_rejected() {
         let text = sample_report()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         assert!(BenchReport::from_json(&text)
             .unwrap_err()
             .contains("schema_version 999"));
+    }
+
+    #[test]
+    fn v1_documents_parse_with_a_default_frozen_section() {
+        // A pre-frozen baseline: drop the section, mark it v1.
+        let mut expected = sample_report();
+        let frozen_line = format!("  \"frozen\": {},\n", expected.frozen.to_json());
+        let text = expected
+            .to_json()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .replace(&frozen_line, "");
+        assert!(!text.contains("frozen"), "{text}");
+        let parsed = BenchReport::from_json(&text).expect("v1 parses");
+        expected.frozen = FrozenStats::default();
+        assert_eq!(parsed, expected);
+        assert_eq!(parsed.frozen.hit_rate(), 0.0);
+        // A v2 document without the section is malformed, not legacy.
+        let v2_missing = sample_report().to_json().replace(&frozen_line, "");
+        assert_eq!(
+            BenchReport::from_json(&v2_missing).unwrap_err(),
+            "missing frozen"
+        );
+    }
+
+    #[test]
+    fn compare_paths_gates_only_the_named_paths() {
+        let baseline = sample_report();
+        let mut slow = baseline.clone();
+        // Both regress 2x, but only ppr is inside the gate.
+        for path in ["ppr", "lineage"] {
+            let q = slow.queries.get_mut(path).unwrap();
+            q.p95_us *= 2;
+        }
+        let gated = compare_paths(
+            &baseline,
+            &slow,
+            15.0,
+            0,
+            &["context", "ppr", "personalize"],
+        );
+        assert_eq!(gated.len(), 1, "{gated:?}");
+        assert_eq!(gated[0].path, "ppr");
+        // The broad compare still sees both.
+        assert_eq!(compare(&baseline, &slow, 15.0, 0).len(), 2);
     }
 
     #[test]

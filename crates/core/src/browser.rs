@@ -8,6 +8,7 @@
 use crate::capture::{CaptureConfig, CaptureEngine, CaptureOutcome};
 use crate::error::CoreResult;
 use crate::event::BrowserEvent;
+use bp_graph::frozen::{FrozenGraph, FrozenHandle, ScoreCache};
 use bp_graph::{NodeId, NodeKind, ProvenanceGraph};
 use bp_obs::Obs;
 use bp_storage::{ProvenanceStore, SizeReport, SyncPolicy};
@@ -42,6 +43,12 @@ use std::path::Path;
 pub struct ProvenanceBrowser {
     engine: CaptureEngine,
     index: InvertedIndex,
+    /// Lazily rebuilt CSR snapshot of the graph, invalidated by the graph
+    /// epoch — relevance queries walk this instead of the live adjacency.
+    frozen: FrozenHandle,
+    /// Epoch-keyed converged-walk score cache shared by the ppr,
+    /// personalize, and context query paths.
+    score_cache: ScoreCache,
 }
 
 impl ProvenanceBrowser {
@@ -86,6 +93,8 @@ impl ProvenanceBrowser {
         let mut browser = ProvenanceBrowser {
             engine,
             index: InvertedIndex::new(),
+            frozen: FrozenHandle::new(),
+            score_cache: ScoreCache::new(),
         };
         // Rebuild the text index from the recovered graph.
         let ids: Vec<NodeId> = browser.engine.store().graph().node_ids().collect();
@@ -174,6 +183,24 @@ impl ProvenanceBrowser {
     /// The provenance graph.
     pub fn graph(&self) -> &ProvenanceGraph {
         self.engine.store().graph()
+    }
+
+    /// The current CSR read-snapshot of the graph, rebuilt when the graph
+    /// epoch has moved since the last call (any capture mutation bumps
+    /// it). Cheap when current: one mutex probe and an `Arc` clone.
+    pub fn frozen(&self) -> std::sync::Arc<FrozenGraph> {
+        self.frozen.snapshot(self.engine.store().graph())
+    }
+
+    /// `(rebuild count, last rebuild µs)` of the frozen snapshot handle.
+    pub fn frozen_stats(&self) -> (u64, u64) {
+        (self.frozen.builds(), self.frozen.last_build_us())
+    }
+
+    /// The epoch-keyed walk-score cache shared by the relevance query
+    /// paths. Entries self-invalidate when the graph epoch moves.
+    pub fn score_cache(&self) -> &ScoreCache {
+        &self.score_cache
     }
 
     /// The underlying durable store.
@@ -404,6 +431,30 @@ mod tests {
         let dir = TempDir::new("redact-noop");
         let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
         assert_eq!(b.redact("http://never/").unwrap(), 0);
+    }
+
+    #[test]
+    fn frozen_snapshot_follows_capture_mutations() {
+        let dir = TempDir::new("frozen");
+        let mut b = ProvenanceBrowser::open(&dir.0, CaptureConfig::default()).unwrap();
+        browse(&mut b);
+        let a = b.frozen();
+        let again = b.frozen();
+        assert!(std::sync::Arc::ptr_eq(&a, &again), "stable epoch: cached");
+        assert_eq!(b.frozen_stats().0, 1);
+        assert_eq!(a.node_count(), b.graph().node_count());
+        b.ingest(&BrowserEvent::navigate(
+            t(4),
+            TabId(0),
+            "http://more/",
+            None,
+            NavigationCause::Link,
+        ))
+        .unwrap();
+        let fresh = b.frozen();
+        assert!(!std::sync::Arc::ptr_eq(&a, &fresh), "ingest invalidates");
+        assert_eq!(b.frozen_stats().0, 2);
+        assert_eq!(fresh.node_count(), b.graph().node_count());
     }
 
     #[test]

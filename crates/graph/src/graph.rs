@@ -62,6 +62,11 @@ pub struct ProvenanceGraph {
     /// close a cycle in a high→low graph. The first low→high edge clears
     /// the flag and reinstates full checking.
     monotone: bool,
+    /// Monotonically increasing mutation counter. Every structural or
+    /// content mutation bumps it, so read-optimized snapshots
+    /// ([`crate::frozen::FrozenGraph`]) and epoch-keyed score caches can
+    /// detect staleness with a single integer compare.
+    epoch: u64,
 }
 
 impl Default for ProvenanceGraph {
@@ -85,7 +90,17 @@ impl ProvenanceGraph {
             in_edges: Vec::with_capacity(nodes),
             latest_version: HashMap::new(),
             monotone: true,
+            epoch: 0,
         }
+    }
+
+    /// The graph's mutation epoch: bumped on every mutation (node or edge
+    /// insertion, mutable node borrow, redaction). Two reads of the same
+    /// graph with equal epochs are guaranteed to have observed identical
+    /// contents, which is what lets [`crate::frozen::FrozenGraph`]
+    /// snapshots and cached query scores be reused without re-validation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of nodes.
@@ -108,6 +123,7 @@ impl ProvenanceGraph {
     /// If the node's kind is versioned (see [`NodeKind::is_versioned`]) the
     /// graph tracks it as the latest version of its `(kind, key)` pair.
     pub fn add_node(&mut self, node: Node) -> NodeId {
+        self.epoch += 1;
         let id = NodeId::new(self.nodes.len() as u32);
         if node.kind().is_versioned() {
             self.latest_version
@@ -162,6 +178,9 @@ impl ProvenanceGraph {
     ///
     /// Returns [`GraphError::UnknownNode`] if `id` is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, GraphError> {
+        // The borrow may be used to write (close intervals, edit attrs);
+        // assume it is and invalidate snapshots conservatively.
+        self.epoch += 1;
         self.nodes
             .get_mut(id.as_usize())
             .ok_or(GraphError::UnknownNode(id))
@@ -230,6 +249,7 @@ impl ProvenanceGraph {
     }
 
     fn push_edge(&mut self, edge: Edge) -> EdgeId {
+        self.epoch += 1;
         let id = EdgeId::new(self.edges.len() as u32);
         self.out_edges[edge.src().as_usize()].push(id);
         self.in_edges[edge.dst().as_usize()].push(id);
@@ -259,6 +279,7 @@ impl ProvenanceGraph {
         id: NodeId,
         replacement: impl Into<String>,
     ) -> Result<String, GraphError> {
+        self.epoch += 1;
         let node = self
             .nodes
             .get_mut(id.as_usize())
@@ -636,6 +657,29 @@ mod tests {
         assert!(g.parents(v1).any(|(_, p)| p == v0));
         // Unknown nodes error.
         assert!(g.redact_node(NodeId::new(99), "[x]").is_err());
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut g = ProvenanceGraph::new();
+        assert_eq!(g.epoch(), 0);
+        let a = visit(&mut g, "a", 1);
+        let e1 = g.epoch();
+        assert!(e1 > 0);
+        let b = visit(&mut g, "b", 2);
+        g.add_edge(b, a, EdgeKind::Link, t(2)).unwrap();
+        let e2 = g.epoch();
+        assert!(e2 > e1, "node and edge inserts both bump");
+        g.node_mut(a).unwrap().close_at(t(9));
+        assert!(g.epoch() > e2, "mutable borrows bump conservatively");
+        let e3 = g.epoch();
+        g.redact_node(a, "[x]").unwrap();
+        assert!(g.epoch() > e3);
+        // Read-only accessors leave the epoch alone.
+        let e4 = g.epoch();
+        let _ = g.node(a);
+        let _ = g.out_degree(b);
+        assert_eq!(g.epoch(), e4);
     }
 
     #[test]

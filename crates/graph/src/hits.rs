@@ -116,6 +116,7 @@ pub fn hits(graph: &ProvenanceGraph, base_set: &[NodeId], config: &HitsConfig) -
         members.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut arcs: Vec<(usize, usize)> = Vec::new();
     for (i, &node) in members.iter().enumerate() {
+        // bp-lint: allow(L009): the base set is the caller's already-budgeted expansion result, so this loop touches at most Budget::max_nodes members — the deadline was honored upstream
         for (eid, parent) in graph.parents(node) {
             // Adjacency lists only hold live edges; a miss would mean the
             // graph's internal invariant broke, and skipping the arc

@@ -54,6 +54,7 @@ mod attr;
 pub mod dot;
 mod edge;
 mod error;
+pub mod frozen;
 mod graph;
 pub mod hits;
 mod ids;

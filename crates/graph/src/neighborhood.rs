@@ -54,7 +54,7 @@ impl Default for ExpansionConfig {
 }
 
 impl ExpansionConfig {
-    fn weight_of(&self, kind: EdgeKind) -> f64 {
+    pub(crate) fn weight_of(&self, kind: EdgeKind) -> f64 {
         self.kind_weights
             .iter()
             .find(|(k, _)| *k == kind)

@@ -11,9 +11,9 @@
 //! Walks treat provenance edges as undirected (context flows both ways
 //! along a derivation), like [`crate::neighborhood`].
 
-use crate::edge::EdgeKind;
 use crate::graph::ProvenanceGraph;
 use crate::ids::NodeId;
+use crate::traverse::Budget;
 use std::collections::HashMap;
 
 /// Configuration for [`personalized_pagerank`].
@@ -76,92 +76,27 @@ impl PageRankScores {
 ///
 /// Seeds with nonpositive weight or out-of-range ids are ignored; an
 /// effectively empty seed set yields empty scores.
+///
+/// This is the convenience entry point: it snapshots the graph into a
+/// [`crate::frozen::FrozenGraph`] and runs the flat-buffer kernel
+/// ([`crate::frozen::personalized_pagerank_frozen`]) serially with an
+/// unbounded [`Budget`]. Hot paths that amortize the snapshot (and want
+/// parallelism, deadlines, or the score cache) hold a
+/// [`crate::frozen::FrozenHandle`] and call the kernel directly.
 pub fn personalized_pagerank(
     graph: &ProvenanceGraph,
     seeds: &[(NodeId, f64)],
     config: &PageRankConfig,
 ) -> PageRankScores {
-    let n = graph.node_count();
-    let mut restart = vec![0.0f64; n];
-    let mut total = 0.0;
-    for &(node, w) in seeds {
-        if node.as_usize() < n && w > 0.0 {
-            restart[node.as_usize()] += w;
-            total += w;
-        }
-    }
-    if total <= 0.0 {
-        return PageRankScores::default();
-    }
-    for r in &mut restart {
-        *r /= total;
-    }
-
-    let edge_weight = |kind: EdgeKind| -> f64 {
-        if !config.include_automatic_edges && kind.is_automatic() {
-            return 0.0;
-        }
-        if kind == EdgeKind::TemporalOverlap {
-            0.4
-        } else {
-            1.0
-        }
-    };
-
-    // Precompute per-node outgoing conductance (undirected degree weight).
-    let mut conductance = vec![0.0f64; n];
-    for (_, e) in graph.edges() {
-        let w = edge_weight(e.kind());
-        conductance[e.src().as_usize()] += w;
-        conductance[e.dst().as_usize()] += w;
-    }
-
-    let mut score = restart.clone();
-    let mut iterations = 0;
-    for _ in 0..config.max_iterations {
-        iterations += 1;
-        let mut next = vec![0.0f64; n];
-        // Push mass along every edge in both directions.
-        for (_, e) in graph.edges() {
-            let w = edge_weight(e.kind());
-            if w == 0.0 {
-                continue;
-            }
-            let (a, b) = (e.src().as_usize(), e.dst().as_usize());
-            if conductance[a] > 0.0 {
-                next[b] += config.damping * score[a] * w / conductance[a];
-            }
-            if conductance[b] > 0.0 {
-                next[a] += config.damping * score[b] * w / conductance[b];
-            }
-        }
-        // Restart mass (including mass stranded on degree-0 nodes).
-        let pushed: f64 = next.iter().sum();
-        let slack = 1.0 - pushed;
-        for i in 0..n {
-            next[i] += slack * restart[i];
-        }
-        let delta: f64 = next.iter().zip(&score).map(|(a, b)| (a - b).abs()).sum();
-        score = next;
-        if delta < config.tolerance {
-            break;
-        }
-    }
-
-    PageRankScores {
-        score: score
-            .into_iter()
-            .enumerate()
-            .filter(|(_, s)| *s > 0.0)
-            .map(|(i, s)| (NodeId::new(i as u32), s))
-            .collect(),
-        iterations,
-    }
+    let frozen = crate::frozen::FrozenGraph::build(graph);
+    crate::frozen::personalized_pagerank_frozen(&frozen, seeds, config, &Budget::new())
+        .into_scores()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::edge::EdgeKind;
     use crate::node::{Node, NodeKind};
     use crate::time::Timestamp;
     use proptest::prelude::*;

@@ -54,6 +54,7 @@ pub struct Budget {
     max_depth: Option<usize>,
     deadline: Option<Duration>,
     clock: Option<ClockHandle>,
+    jobs: Option<usize>,
 }
 
 impl Budget {
@@ -110,6 +111,22 @@ impl Budget {
     /// The clock the deadline is measured against, when overridden.
     pub fn clock(&self) -> Option<&ClockHandle> {
         self.clock.as_ref()
+    }
+
+    /// Requests `n` worker threads for algorithms with a parallel
+    /// implementation (currently [`crate::frozen`]'s PageRank kernel).
+    /// Results are bit-identical regardless of the value; this is purely
+    /// a wall-clock lever. `0` and `1` both mean serial.
+    #[must_use]
+    pub fn with_jobs(mut self, n: usize) -> Self {
+        self.jobs = Some(n);
+        self
+    }
+
+    /// The requested worker-thread count (1 when unset: budgets bound
+    /// resource use, so parallelism is opt-in).
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or(1).max(1)
     }
 }
 
@@ -358,6 +375,7 @@ fn reconstruct_path(graph: &ProvenanceGraph, traversal: &Traversal, target: Node
     while let Some(r) = by_node.get(&cur) {
         match r.via {
             Some(eid) => {
+                // bp-lint: allow(L009): path length is capped by the producing BFS's Budget (max_depth hops), so reconstruction is bounded without re-checking the deadline
                 let Ok(e) = graph.edge(eid) else {
                     // Path edges come from the traversal and are live by
                     // construction; stop rebuilding rather than abort.

@@ -50,6 +50,35 @@ pub struct Suppression {
     pub reason: String,
 }
 
+/// A reasoned allow directive that suppressed nothing this run: the
+/// code it guarded was fixed or moved, so the allowlist entry is dead
+/// weight and should be deleted (`check --audit-allowlist` fails on
+/// these).
+#[derive(Debug, Clone)]
+pub struct StaleAllow {
+    /// Workspace-relative path of the file holding the directive.
+    pub path: String,
+    /// Line the directive comment starts on.
+    pub line: u32,
+    /// Rules the directive names.
+    pub rules: Vec<String>,
+    /// The written justification, kept for the audit message.
+    pub reason: String,
+}
+
+impl std::fmt::Display for StaleAllow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: stale allow({}): suppresses nothing — remove it (reason was: {})",
+            self.path,
+            self.line,
+            self.rules.join(", "),
+            self.reason
+        )
+    }
+}
+
 /// Byte-offset → (line, column) mapping for one file.
 #[derive(Debug)]
 pub struct LineMap {

@@ -13,7 +13,9 @@
 
 use crate::cache::{self, Cache, CachedFile};
 use crate::callgraph::Program;
-use crate::diag::{parse_directive, Directive, LineMap, Severity, Suppression, Violation};
+use crate::diag::{
+    parse_directive, Directive, LineMap, Severity, StaleAllow, Suppression, Violation,
+};
 use crate::lexer::{lex, Lexed, TokenKind};
 use crate::parser::parse_file;
 use crate::rules::{all_global_rules, all_rules, Rule, METRICS_REGISTRY_PATH};
@@ -440,6 +442,36 @@ fn apply_suppressions(
     }
 }
 
+/// Audits the allowlist: every reasoned directive must have earned its
+/// keep by suppressing at least one finding this run. Directives with an
+/// empty reason are excluded — L000 already flags those as violations.
+fn collect_stale_allows(
+    directives: &HashMap<String, Vec<Directive>>,
+    suppressions: &[Suppression],
+) -> Vec<StaleAllow> {
+    let mut stale = Vec::new();
+    for (path, ds) in directives {
+        for d in ds {
+            if d.reason.is_empty() {
+                continue;
+            }
+            let used = suppressions.iter().any(|s| {
+                s.path == *path && s.line == d.target_line && d.rules.iter().any(|r| r == &s.rule)
+            });
+            if !used {
+                stale.push(StaleAllow {
+                    path: path.clone(),
+                    line: d.line,
+                    rules: d.rules.clone(),
+                    reason: d.reason.clone(),
+                });
+            }
+        }
+    }
+    stale.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    stale
+}
+
 /// Tuning knobs for `check_tree_with`.
 #[derive(Debug, Clone, Default)]
 pub struct CheckOptions {
@@ -459,6 +491,9 @@ pub struct CheckReport {
     pub violations: Vec<Violation>,
     /// Allowlisted (suppressed) findings with their reasons.
     pub suppressions: Vec<Suppression>,
+    /// Reasoned allow directives that suppressed nothing — candidates
+    /// for deletion, fatal under `check --audit-allowlist`.
+    pub stale_allows: Vec<StaleAllow>,
     /// Number of files scanned.
     pub files: usize,
     /// How many of those were cache hits.
@@ -489,10 +524,15 @@ impl Default for Engine {
     }
 }
 
-/// Fingerprint over the full rule set (ids + descriptions); any change
-/// invalidates the incremental cache wholesale.
+/// Bump when analysis logic outside the rules changes shape (directive
+/// collection, summaries) — rule ids alone can't see those edits, and a
+/// stale cache would keep serving the old analysis.
+const ANALYSIS_VERSION: &str = "v2:doc-comments-never-direct";
+
+/// Fingerprint over the analysis version and the full rule set (ids +
+/// descriptions); any change invalidates the incremental cache wholesale.
 fn rules_fingerprint() -> String {
-    let mut s = String::new();
+    let mut s = String::from(ANALYSIS_VERSION);
     for r in all_rules() {
         s.push_str(r.id());
         s.push_str(r.description());
@@ -671,6 +711,7 @@ impl Engine {
         }
 
         apply_suppressions(all_raw, &directives, &mut report);
+        report.stale_allows = collect_stale_allows(&directives, &report.suppressions);
         report.violations.sort_by(|a, b| {
             (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
         });
@@ -701,6 +742,16 @@ fn collect_directives(ctx: &FileContext<'_>) -> Vec<Directive> {
     let mut out = Vec::new();
     for c in &ctx.lexed.comments {
         let body = &ctx.src[c.start..c.end];
+        // Doc comments only ever *document* the directive syntax (e.g. the
+        // `parse_directive` rustdoc); a live allow is always a plain `//`
+        // or `/* */` comment.
+        if body.starts_with("///")
+            || body.starts_with("//!")
+            || body.starts_with("/**")
+            || body.starts_with("/*!")
+        {
+            continue;
+        }
         if let Some((rules, reason)) = parse_directive(body) {
             let line = ctx.lines.line_of(c.start);
             // If any code token shares the comment's line, the directive
@@ -813,5 +864,56 @@ mod tests {
             "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // bp-lint: allow(L002): demo\n}\n";
         let report = check_src("crates/core/src/x.rs", src);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_directives() {
+        // Rustdoc describing the syntax must not register a phantom allow
+        // (which the allowlist audit would then flag as stale).
+        let src = "/// Accepts `bp-lint: allow(L002): reason`.\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let lexed = lex(src);
+        let ctx = build_context("crates/core/src/x.rs", src, &lexed);
+        assert!(collect_directives(&ctx).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_audit_flags_only_unused_reasoned_directives() {
+        let path = "crates/core/src/x.rs".to_string();
+        let mut directives: HashMap<String, Vec<Directive>> = HashMap::new();
+        directives.insert(
+            path.clone(),
+            vec![
+                Directive {
+                    rules: vec!["L002".to_string()],
+                    reason: "earned its keep".to_string(),
+                    line: 4,
+                    target_line: 5,
+                },
+                Directive {
+                    rules: vec!["L002".to_string(), "L004".to_string()],
+                    reason: "the guarded code was deleted".to_string(),
+                    line: 9,
+                    target_line: 10,
+                },
+                // Reasonless: L000 territory, not the audit's.
+                Directive {
+                    rules: vec!["L002".to_string()],
+                    reason: String::new(),
+                    line: 20,
+                    target_line: 21,
+                },
+            ],
+        );
+        let suppressions = vec![Suppression {
+            rule: "L002".to_string(),
+            path: path.clone(),
+            line: 5,
+            reason: "earned its keep".to_string(),
+        }];
+        let stale = collect_stale_allows(&directives, &suppressions);
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].line, 9);
+        assert_eq!(stale[0].rules, vec!["L002".to_string(), "L004".to_string()]);
+        assert!(stale[0].to_string().contains("stale allow(L002, L004)"));
     }
 }

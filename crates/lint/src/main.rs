@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bp-lint check [--root PATH] [--sarif FILE] [--timing] [--jobs N] [--no-cache]
-//!                               # exit 0 clean, 1 violations, 2 usage/io
+//!               [--audit-allowlist]
+//!                               # exit 0 clean, 1 violations/stale allows, 2 usage/io
 //! bp-lint fix   [--root PATH]   # apply mechanically safe rewrites
 //! bp-lint rules                 # list the rule set
 //! ```
@@ -70,6 +71,7 @@ fn usage() {
          \x20 --timing       print per-rule and slowest-file wall times\n\
          \x20 --jobs N       analysis worker threads (default: all cores)\n\
          \x20 --no-cache     ignore and do not update the incremental cache\n\
+         \x20 --audit-allowlist  fail when an allow directive suppresses nothing\n\
          \n\
          Suppress a finding with `// bp-lint: allow(L00X): <reason>` on or\n\
          above the offending line; the reason is mandatory."
@@ -86,6 +88,7 @@ fn fail_usage(msg: &str) -> ExitCode {
 struct CheckArgs {
     root: PathBuf,
     sarif: Option<PathBuf>,
+    audit_allowlist: bool,
     opts: CheckOptions,
 }
 
@@ -94,6 +97,7 @@ impl CheckArgs {
         let mut it = args.iter();
         let mut root: Option<PathBuf> = None;
         let mut sarif = None;
+        let mut audit_allowlist = false;
         let mut opts = CheckOptions::default();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -117,6 +121,7 @@ impl CheckArgs {
                 }
                 "--timing" => opts.timing = true,
                 "--no-cache" => opts.no_cache = true,
+                "--audit-allowlist" => audit_allowlist = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -125,7 +130,12 @@ impl CheckArgs {
             None => find_workspace_root()
                 .ok_or_else(|| "could not locate workspace root; pass --root".to_string())?,
         };
-        Ok(CheckArgs { root, sarif, opts })
+        Ok(CheckArgs {
+            root,
+            sarif,
+            audit_allowlist,
+            opts,
+        })
     }
 }
 
@@ -184,9 +194,26 @@ fn run_check(args: &CheckArgs) -> ExitCode {
             if args.opts.timing {
                 print_timing(&report);
             }
+            let stale = if args.audit_allowlist {
+                for s in &report.stale_allows {
+                    println!("{s}");
+                }
+                report.stale_allows.len()
+            } else {
+                0
+            };
             let n = report.violations.len();
             let s = report.suppressions.len();
-            if n == 0 {
+            if n == 0 && stale > 0 {
+                println!(
+                    "bp-lint: FAILED — {} files, 0 violations, {} allowlisted, {} stale allow{}",
+                    report.files,
+                    s,
+                    stale,
+                    if stale == 1 { "" } else { "s" }
+                );
+                ExitCode::from(1)
+            } else if n == 0 {
                 println!(
                     "bp-lint: clean — {} files, 0 violations, {} allowlisted",
                     report.files, s

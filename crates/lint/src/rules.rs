@@ -1074,14 +1074,23 @@ impl GlobalRule for DeadlinePropagation {
         let files = &prog.files;
         let g = &prog.graph;
         let n = g.nodes.len();
-        let in_query = |i: usize| g.file_at(files, i).crate_name == "query" && !g.is_test(files, i);
+        // Entry points live in the query crate, but propagation follows
+        // the call graph into the graph crate too: the relevance kernels
+        // (frozen PPR, expansion, HITS) do the actual unbounded walking
+        // on the query paths' behalf, and a kernel loop that cannot see a
+        // Deadline/Budget breaks the interactive bound just as surely as
+        // a query-crate loop.
+        let in_scope = |i: usize| {
+            let c = g.file_at(files, i).crate_name.as_str();
+            (c == "query" || c == "graph") && !g.is_test(files, i)
+        };
 
         // Multi-source BFS from the public browser-taking entry points,
         // remembering one representative entry per reached node.
         let mut entry_of: Vec<Option<usize>> = vec![None; n];
         let mut queue = VecDeque::new();
         for (i, slot) in entry_of.iter_mut().enumerate() {
-            if !in_query(i) {
+            if g.file_at(files, i).crate_name != "query" || g.is_test(files, i) {
                 continue;
             }
             let f = g.fn_at(files, i);
@@ -1092,7 +1101,7 @@ impl GlobalRule for DeadlinePropagation {
         }
         while let Some(m) = queue.pop_front() {
             for e in &g.edges[m] {
-                if in_query(e.to) && entry_of[e.to].is_none() {
+                if in_scope(e.to) && entry_of[e.to].is_none() {
                     entry_of[e.to] = entry_of[m];
                     queue.push_back(e.to);
                 }

@@ -48,7 +48,7 @@ impl Value {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
-                Some(*n as u64) // bp-lint: allow(L003): not a codec — checked integral f64 from parsed JSON
+                Some(*n as u64)
             }
             _ => None,
         }

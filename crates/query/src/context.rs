@@ -11,23 +11,28 @@
 
 use crate::result::{QueryResult, ScoredHit};
 use bp_core::ProvenanceBrowser;
+use bp_graph::frozen::{
+    expand_frozen, fingerprint_expansion, fingerprint_ppr, personalized_pagerank_frozen,
+    CacheDomain, CacheKey, CachedScores, FrozenGraph,
+};
 use bp_graph::hits::{hits, HitsConfig};
-use bp_graph::neighborhood::{expand, ExpansionConfig};
+use bp_graph::neighborhood::ExpansionConfig;
 use bp_graph::traverse::Budget;
 use bp_graph::{NodeId, NodeKind};
 use bp_obs::profile::{self, QueryPlan};
 use bp_obs::{trace, ClockHandle};
+use std::sync::Arc;
 
 /// EXPLAIN plan for [`contextual_history_search`].
 static CONTEXT_PLAN: QueryPlan = QueryPlan {
     query: "context",
-    stages: &["text_seeds", "expand", "hits", "blend"],
+    stages: &["frozen.build_us", "text_seeds", "expand", "hits", "blend"],
 };
 
 /// EXPLAIN plan for [`contextual_history_search_ppr`].
 static PPR_PLAN: QueryPlan = QueryPlan {
     query: "ppr",
-    stages: &["text_seeds", "pagerank", "blend"],
+    stages: &["frozen.build_us", "text_seeds", "pagerank", "blend"],
 };
 
 /// EXPLAIN plan for [`textual_history_search`].
@@ -86,6 +91,183 @@ fn text_seeds(browser: &ProvenanceBrowser, query: &str) -> Vec<(NodeId, f64)> {
         .collect()
 }
 
+/// The browser's current CSR snapshot, taken under the plan's leading
+/// `frozen.build_us` stage so EXPLAIN shows what the epoch check (and any
+/// rebuild a mutation forced) cost this query.
+fn frozen_stage(browser: &ProvenanceBrowser) -> Arc<FrozenGraph> {
+    let _stage = trace::span("frozen");
+    let pstage = profile::stage("frozen.build_us");
+    let frozen = browser.frozen();
+    pstage.rows(frozen.node_count(), frozen.edge_count());
+    frozen
+}
+
+/// Fetches `key` from the browser's score cache or computes and caches it,
+/// maintaining the `bp_graph_cache` metrics. Results truncated under a
+/// wall-clock deadline are returned but never cached: what they contain
+/// depends on machine load, not on the key.
+fn cached_walk(
+    browser: &ProvenanceBrowser,
+    key: CacheKey,
+    deadline: Option<std::time::Duration>,
+    compute: impl FnOnce() -> CachedScores,
+) -> Arc<CachedScores> {
+    let cache = browser.score_cache();
+    let obs = browser.obs();
+    if let Some(value) = cache.get(&key) {
+        obs.counter("bp_graph_cache.hit").inc();
+        return value;
+    }
+    obs.counter("bp_graph_cache.miss").inc();
+    let value = Arc::new(compute());
+    if !value.truncated || deadline.is_none() {
+        let evicted = cache.put(key, value.clone());
+        if evicted > 0 {
+            obs.counter("bp_graph_cache.evict").add(evicted);
+        }
+    }
+    obs.gauge("bp_graph_cache.bytes")
+        .set(cache.stats().bytes as i64);
+    value
+}
+
+/// A blend-pass winner candidate: everything needed to rank, nothing
+/// that allocates. `ScoredHit`s (with owned key/title strings) are built
+/// only for the rows that survive ranking.
+struct Candidate {
+    node: NodeId,
+    kind: NodeKind,
+    score: f64,
+    text: f64,
+    context: f64,
+}
+
+/// Shared two-pass blend over sparse `(node, context)` entries.
+///
+/// Pass 1 walks the entries in ascending node-id order, filters by result
+/// kind, and deduplicates by history key into per-key best candidates.
+/// Dedup goes through the snapshot's [`FrozenGraph::key_reps`]
+/// table — a `u32` representative per node — so the hot loop indexes flat
+/// arrays instead of hashing key strings. Pass 2 sorts the winners,
+/// truncates to `max_results`, and only then materializes [`ScoredHit`]s.
+/// Ties keep the lowest node id (pass 1 sees ids in ascending order and
+/// keeps the first; the final sort breaks score ties the same way).
+#[allow(clippy::too_many_arguments)]
+fn blend_entries(
+    browser: &ProvenanceBrowser,
+    frozen: &FrozenGraph,
+    entries: &[(u32, f64)],
+    normalize: f64,
+    seeds: &[(NodeId, f64)],
+    authority: &std::collections::HashMap<NodeId, f64>,
+    config: &ContextualConfig,
+    deadline: &crate::slo::Deadline,
+    pstage: &profile::StageGuard,
+) -> (Vec<ScoredHit>, bool) {
+    let graph = browser.graph();
+    let mut truncated = false;
+    let use_hits = config.hits_weight != 0.0 && !authority.is_empty();
+    let key_reps = frozen.key_reps();
+    let mut text_score = vec![0.0f64; key_reps.len()];
+    for &(n, s) in seeds {
+        if let Some(slot) = text_score.get_mut(n.as_usize()) {
+            *slot = s;
+        }
+    }
+    // winner_slot[rep] indexes into `winners` (u32::MAX = none yet): the
+    // per-key best is a pair of array reads, no string hashing.
+    const NONE: u32 = u32::MAX;
+    let mut winner_slot = vec![NONE; key_reps.len()];
+    let mut winners: Vec<Candidate> = Vec::new();
+    for (blended, &(raw_node, raw_context)) in entries.iter().enumerate() {
+        // The deadline guards the loop, but a clock read per candidate
+        // would dominate the now-allocation-free loop body.
+        if blended % 64 == 0 && deadline.expired() {
+            truncated = true;
+            let remaining = (entries.len() - blended) as u64;
+            pstage.truncated(remaining);
+            trace::note(format!(
+                "truncated: deadline hit, ~{remaining} candidates unscored"
+            ));
+            break;
+        }
+        let node = NodeId::new(raw_node);
+        let Ok(n) = graph.node(node) else { continue };
+        if !config.result_kinds.contains(&n.kind()) {
+            continue;
+        }
+        let context = raw_context / normalize;
+        let text = text_score.get(raw_node as usize).copied().unwrap_or(0.0);
+        let hits = if use_hits {
+            config.hits_weight * authority.get(&node).copied().unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        let score = config.text_weight * text + config.context_weight * context + hits;
+        let candidate = Candidate {
+            node,
+            kind: n.kind(),
+            score,
+            text,
+            context,
+        };
+        let rep = match key_reps.get(raw_node as usize) {
+            Some(&r) => r as usize,
+            // Entry past the snapshot (cannot happen while callers score
+            // over the same frozen graph): keep it, undeduplicated.
+            None => {
+                winners.push(candidate);
+                continue;
+            }
+        };
+        let slot = winner_slot[rep];
+        if slot == NONE {
+            winner_slot[rep] = winners.len() as u32;
+            winners.push(candidate);
+        } else {
+            let existing = &mut winners[slot as usize];
+            if candidate.score > existing.score {
+                *existing = candidate;
+            }
+        }
+    }
+    let rank = |a: &Candidate, b: &Candidate| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    };
+    // Only `max_results` winners survive: an O(n) partial select moves
+    // them to the front, then the sort touches just that prefix. The
+    // comparator is a total order (score desc, node id asc), so the
+    // selected set and final order match what a full sort would produce.
+    if winners.len() > config.max_results {
+        if config.max_results == 0 {
+            winners.clear();
+        } else {
+            winners.select_nth_unstable_by(config.max_results - 1, rank);
+            winners.truncate(config.max_results);
+        }
+    }
+    winners.sort_by(rank);
+    let hits: Vec<ScoredHit> = winners
+        .into_iter()
+        .filter_map(|c| {
+            let n = graph.node(c.node).ok()?;
+            Some(ScoredHit {
+                node: c.node,
+                kind: c.kind,
+                key: n.key().to_owned(),
+                title: n.attrs().get_str("title").map(str::to_owned),
+                score: c.score,
+                text_score: c.text,
+                context_score: c.context,
+            })
+        })
+        .collect();
+    (hits, truncated)
+}
+
 /// Runs a contextual history search for `query`.
 ///
 /// Scores combine normalized TF-IDF text relevance with accumulated
@@ -103,7 +285,10 @@ pub fn contextual_history_search(
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
     let graph = browser.graph();
 
-    // 1. Textual seeds.
+    // 1. The CSR snapshot (usually an epoch check + Arc clone).
+    let frozen = frozen_stage(browser);
+
+    // 2. Textual seeds.
     let seeds = {
         let _stage = trace::span("text_seeds");
         let pstage = profile::stage("text_seeds");
@@ -112,15 +297,30 @@ pub fn contextual_history_search(
         seeds
     };
 
-    // 2. Neighborhood expansion from the seeds.
+    // 3. Neighborhood expansion from the seeds, over the snapshot and
+    //    through the epoch-keyed cache: an identical (seed set, expansion
+    //    config, budget caps) request against an unmutated graph reuses
+    //    the previous expansion outright.
     let expansion = {
         let _stage = trace::span("expand");
         let pstage = profile::stage("expand");
-        let expansion = expand(graph, &seeds, &config.expansion, &config.budget);
-        pstage.rows(seeds.len(), expansion.weight.len());
-        pstage.touched(expansion.weight.len(), 0);
+        let key = CacheKey {
+            epoch: frozen.epoch(),
+            domain: CacheDomain::Expansion,
+            fingerprint: fingerprint_expansion(&seeds, &config.expansion, &config.budget),
+        };
+        let expansion = cached_walk(browser, key, config.budget.deadline(), || {
+            let e = expand_frozen(&frozen, &seeds, &config.expansion, &config.budget);
+            CachedScores {
+                entries: e.entries,
+                iterations: 0,
+                truncated: e.truncated,
+            }
+        });
+        pstage.rows(seeds.len(), expansion.entries.len());
+        pstage.touched(expansion.entries.len(), 0);
         if expansion.truncated {
-            let remaining = graph.node_count().saturating_sub(expansion.weight.len()) as u64;
+            let remaining = graph.node_count().saturating_sub(expansion.entries.len()) as u64;
             pstage.truncated(remaining);
             trace::note(format!(
                 "truncated: budget hit, ~{remaining} nodes unreached"
@@ -129,14 +329,19 @@ pub fn contextual_history_search(
         expansion
     };
 
-    // 3. Optional HITS pass over the reached neighborhood (the "base
+    // 4. Optional HITS pass over the reached neighborhood (the "base
     //    set" in Kleinberg's terms): authority flows to the pages the
     //    user's journeys converged on.
     let authority: std::collections::HashMap<NodeId, f64> = if config.hits_weight > 0.0 {
         let _stage = trace::span("hits");
         let pstage = profile::stage("hits");
-        let mut base: Vec<NodeId> = expansion.weight.keys().copied().collect();
-        base.sort(); // deterministic member order → deterministic scores
+        // Frozen entries are already in ascending node-id order, so the
+        // member order (and the scores) stay deterministic.
+        let base: Vec<NodeId> = expansion
+            .entries
+            .iter()
+            .map(|&(i, _)| NodeId::new(i))
+            .collect();
         let authority = hits(graph, &base, &HitsConfig::default()).authority;
         pstage.rows(base.len(), authority.len());
         authority
@@ -144,61 +349,24 @@ pub fn contextual_history_search(
         std::collections::HashMap::new()
     };
 
-    // 4. Blend and collect, still under the deadline: the expansion
+    // 5. Blend and collect, still under the deadline: the expansion
     //    truncates itself, but the blend loop scales with the reached set,
     //    so it too honors the bound rather than silently overrunning.
     let stage = trace::span("blend");
     let pstage = profile::stage("blend");
-    let mut truncated = expansion.truncated;
-    let mut text_score: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
-    for &(n, s) in &seeds {
-        text_score.insert(n, s);
-    }
-    let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
-        std::collections::HashMap::new();
-    for (blended, (&node, &context)) in expansion.weight.iter().enumerate() {
-        if deadline.expired() {
-            truncated = true;
-            let remaining = (expansion.weight.len() - blended) as u64;
-            pstage.truncated(remaining);
-            trace::note(format!(
-                "truncated: deadline hit, ~{remaining} candidates unscored"
-            ));
-            break;
-        }
-        let Ok(n) = graph.node(node) else { continue };
-        if !config.result_kinds.contains(&n.kind()) {
-            continue;
-        }
-        let text = text_score.get(&node).copied().unwrap_or(0.0);
-        let score = config.text_weight * text
-            + config.context_weight * context
-            + config.hits_weight * authority.get(&node).copied().unwrap_or(0.0);
-        let hit = ScoredHit {
-            node,
-            kind: n.kind(),
-            key: n.key().to_owned(),
-            title: n.attrs().get_str("title").map(str::to_owned),
-            score,
-            text_score: text,
-            context_score: context,
-        };
-        match best_by_key.get_mut(n.key()) {
-            Some(existing) if existing.score >= score => {}
-            _ => {
-                best_by_key.insert(n.key().to_owned(), hit);
-            }
-        }
-    }
-    let mut hits: Vec<ScoredHit> = best_by_key.into_values().collect();
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.node.cmp(&b.node))
-    });
-    hits.truncate(config.max_results);
-    pstage.rows(expansion.weight.len(), hits.len());
+    let (hits, blend_truncated) = blend_entries(
+        browser,
+        &frozen,
+        &expansion.entries,
+        1.0,
+        &seeds,
+        &authority,
+        config,
+        &deadline,
+        &pstage,
+    );
+    let truncated = expansion.truncated || blend_truncated;
+    pstage.rows(expansion.entries.len(), hits.len());
     drop(pstage);
     drop(stage);
     let elapsed = deadline.elapsed();
@@ -234,7 +402,7 @@ pub fn contextual_history_search_ppr(
     let span = trace::span("query.context_ppr");
     let prof = profile::begin(&PPR_PLAN, &config.clock, config.budget.deadline());
     let deadline = crate::slo::Deadline::start(&config.clock, config.budget.deadline());
-    let graph = browser.graph();
+    let frozen = frozen_stage(browser);
     let seeds = {
         let _stage = trace::span("text_seeds");
         let pstage = profile::stage("text_seeds");
@@ -242,80 +410,60 @@ pub fn contextual_history_search_ppr(
         pstage.rows(query.split_whitespace().count(), seeds.len());
         seeds
     };
+    // The converged walk, through the epoch-keyed cache: serve's
+    // steady-state query loop asks the same seeds against an unmutated
+    // graph over and over, and each repeat is a map probe instead of a
+    // power iteration.
     let scores = {
         let _stage = trace::span("pagerank");
         let pstage = profile::stage("pagerank");
-        let scores = bp_graph::pagerank::personalized_pagerank(graph, &seeds, pagerank);
-        pstage.rows(seeds.len(), scores.score.len());
-        pstage.touched(scores.score.len(), 0);
+        let key = CacheKey {
+            epoch: frozen.epoch(),
+            domain: CacheDomain::PageRank,
+            fingerprint: fingerprint_ppr(&seeds, pagerank, &config.budget),
+        };
+        let scores = cached_walk(browser, key, config.budget.deadline(), || {
+            let s = personalized_pagerank_frozen(&frozen, &seeds, pagerank, &config.budget);
+            CachedScores {
+                entries: s.entries,
+                iterations: s.iterations,
+                truncated: s.truncated,
+            }
+        });
+        pstage.rows(seeds.len(), scores.entries.len());
+        pstage.touched(scores.entries.len(), 0);
         scores
     };
     // Rescale so the context component is comparable to the expansion
-    // variant (top score ≈ 1).
+    // variant (top score ≈ 1). One O(n) max scan — no full ranking sort.
     let max = scores
-        .ranked()
-        .first()
-        .map_or(1.0, |(_, s)| *s)
+        .entries
+        .iter()
+        .fold(0.0f64, |m, &(_, s)| m.max(s))
         .max(f64::EPSILON);
 
-    let mut text_score: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
-    for &(n, s) in &seeds {
-        text_score.insert(n, s);
-    }
-    let mut best_by_key: std::collections::HashMap<String, ScoredHit> =
-        std::collections::HashMap::new();
-    let mut truncated = false;
     let stage = trace::span("blend");
     let pstage = profile::stage("blend");
-    let total_scored = scores.score.len();
-    for (blended, (node, raw)) in scores.score.into_iter().enumerate() {
-        if deadline.expired() {
-            truncated = true;
-            let remaining = (total_scored - blended) as u64;
-            pstage.truncated(remaining);
-            trace::note(format!(
-                "truncated: deadline hit, ~{remaining} candidates unscored"
-            ));
-            break;
-        }
-        let Ok(n) = graph.node(node) else { continue };
-        if !config.result_kinds.contains(&n.kind()) {
-            continue;
-        }
-        let context = raw / max;
-        let text = text_score.get(&node).copied().unwrap_or(0.0);
-        let score = config.text_weight * text + config.context_weight * context;
-        let hit = ScoredHit {
-            node,
-            kind: n.kind(),
-            key: n.key().to_owned(),
-            title: n.attrs().get_str("title").map(str::to_owned),
-            score,
-            text_score: text,
-            context_score: context,
-        };
-        match best_by_key.get_mut(n.key()) {
-            Some(existing) if existing.score >= score => {}
-            _ => {
-                best_by_key.insert(n.key().to_owned(), hit);
-            }
-        }
-    }
-    let mut hits: Vec<ScoredHit> = best_by_key.into_values().collect();
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.node.cmp(&b.node))
-    });
-    hits.truncate(config.max_results);
-    pstage.rows(total_scored, hits.len());
+    let no_authority = std::collections::HashMap::new();
+    let (hits, blend_truncated) = blend_entries(
+        browser,
+        &frozen,
+        &scores.entries,
+        max,
+        &seeds,
+        &no_authority,
+        config,
+        &deadline,
+        &pstage,
+    );
+    let truncated = scores.truncated || blend_truncated;
+    pstage.rows(scores.entries.len(), hits.len());
     drop(pstage);
     drop(stage);
     let elapsed = deadline.elapsed();
     // Same use case as the expansion variant, so it samples the same
-    // latency histogram; PPR runs to a fixed point, so truncation can
-    // only come from the scoring loop's deadline check above.
+    // latency histogram; truncation comes from the kernel stopping at an
+    // iteration boundary or from the blend loop's deadline check.
     crate::slo::observe(
         browser.obs(),
         "context",
@@ -617,6 +765,81 @@ mod tests {
             &bp_graph::pagerank::PageRankConfig::default(),
         );
         assert!(empty.hits.is_empty());
+    }
+
+    #[test]
+    fn score_cache_hits_until_capture_mutates_the_graph() {
+        let mut tb = rosebud_history("cache-epoch");
+        let config = ContextualConfig::default();
+        let pr = bp_graph::pagerank::PageRankConfig::default();
+
+        // First walk computes and caches; the repeat is a pure cache hit
+        // with bit-identical results.
+        let before = tb.browser.score_cache().stats();
+        let r1 = contextual_history_search_ppr(&tb.browser, "rosebud", &config, &pr);
+        let after_first = tb.browser.score_cache().stats();
+        assert_eq!(after_first.misses, before.misses + 1);
+        let r2 = contextual_history_search_ppr(&tb.browser, "rosebud", &config, &pr);
+        let after_second = tb.browser.score_cache().stats();
+        assert_eq!(after_second.hits, after_first.hits + 1);
+        assert_eq!(r1.hits.len(), r2.hits.len());
+        for (a, b) in r1.hits.iter().zip(&r2.hits) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(
+            !r1.contains_key("http://films/kane-cast"),
+            "the cast page does not exist yet"
+        );
+
+        // Mutate through capture: revisit kane and follow a link off it.
+        // The epoch moves, so the old entry can never match again.
+        tb.browser
+            .ingest(&BrowserEvent::navigate(
+                t(10),
+                TabId(0),
+                "http://films/kane",
+                Some("Citizen Kane (1941)"),
+                NavigationCause::BackForward,
+            ))
+            .unwrap();
+        tb.browser
+            .ingest(&BrowserEvent::navigate(
+                t(11),
+                TabId(0),
+                "http://films/kane-cast",
+                Some("Cast list"),
+                NavigationCause::Link,
+            ))
+            .unwrap();
+        let r3 = contextual_history_search_ppr(&tb.browser, "rosebud", &config, &pr);
+        let after_mutation = tb.browser.score_cache().stats();
+        assert_eq!(
+            after_mutation.misses,
+            after_second.misses + 1,
+            "mutated graph must miss the cache"
+        );
+        assert!(
+            r3.contains_key("http://films/kane-cast"),
+            "fresh scores reflect the new history: {:?}",
+            r3.top_keys(10)
+        );
+        let kane_before = r1.hits[r1.rank_of_key("http://films/kane").unwrap()].context_score;
+        let kane_after = r3.hits[r3.rank_of_key("http://films/kane").unwrap()].context_score;
+        assert_ne!(
+            kane_before.to_bits(),
+            kane_after.to_bits(),
+            "mass redistributes over the grown neighborhood"
+        );
+
+        // The expansion-domain cache behaves the same on the context path.
+        let ctx_before = tb.browser.score_cache().stats();
+        let c1 = contextual_history_search(&tb.browser, "rosebud", &config);
+        let c2 = contextual_history_search(&tb.browser, "rosebud", &config);
+        let ctx_after = tb.browser.score_cache().stats();
+        assert_eq!(ctx_after.misses, ctx_before.misses + 1);
+        assert_eq!(ctx_after.hits, ctx_before.hits + 1);
+        assert_eq!(c1.hits.len(), c2.hits.len());
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //! the report's `frozen` section records it alongside snapshot-build and
 //! score-cache telemetry.
 //!
+//! Every run also replays the stream through the batched capture
+//! pipeline against a group-commit WAL and reports the sustained
+//! throughput as `ingest.events_per_sec` plus a `wal` section
+//! (groups, events/group, drain batch sizes, sync p95). Two absolute
+//! gates ride on top of the relative comparison: `--ingest-floor EPS`
+//! fails the run when sustained throughput drops below the floor, and
+//! `--e1-max RATIO` fails it when the E1 storage-overhead ratio rises
+//! above the ceiling — both work with or without `--compare`.
+//!
 //! `--serve-smoke HOST:PORT` switches to smoke-testing a running
 //! `browserprov serve` daemon instead: every observability endpoint is
 //! scraped over a raw TCP socket, `/metrics` must expose a non-empty
@@ -29,11 +38,11 @@
 //! Exits nonzero on any failed scrape.
 
 use bp_bench::fixtures::{history, TempProfile};
-use bp_bench::relschema::RelationalProvenance;
 use bp_bench::report::{
     compare, compare_paths, median_us, BenchReport, FrozenStats, LatencySummary, StoreSizes,
+    WalStats,
 };
-use bp_core::{CaptureConfig, ProvenanceBrowser};
+use bp_core::{CaptureConfig, CapturePipeline, ProvenanceBrowser};
 use bp_obs::profile::Profile;
 use bp_obs::{profile, ClockHandle, Obs};
 use bp_places::{PlacesDb, PlacesIngester};
@@ -45,6 +54,7 @@ use bp_query::{
 use bp_sim::web::TOPICS;
 use bp_storage::SyncPolicy;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// The query paths the frozen-graph work accelerates; `--compare` holds
 /// these to the tighter `--gate-threshold` on top of the broad sweep.
@@ -60,6 +70,8 @@ struct Options {
     floor_us: u64,
     gate_threshold_pct: f64,
     gate_floor_us: u64,
+    ingest_floor: Option<f64>,
+    e1_max: Option<f64>,
     serve_smoke: Option<String>,
 }
 
@@ -74,6 +86,8 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
         floor_us: 0,
         gate_threshold_pct: 15.0,
         gate_floor_us: 100,
+        ingest_floor: None,
+        e1_max: None,
         serve_smoke: None,
     };
     let mut i = 0;
@@ -128,6 +142,18 @@ fn parse_options(raw: &[String]) -> Result<Options, String> {
                 opts.gate_floor_us = value(i)?
                     .parse()
                     .map_err(|_| "--gate-floor-us must be a number")?;
+                i += 2;
+            }
+            "--ingest-floor" => {
+                opts.ingest_floor = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| "--ingest-floor must be a number")?,
+                );
+                i += 2;
+            }
+            "--e1-max" => {
+                opts.e1_max = Some(value(i)?.parse().map_err(|_| "--e1-max must be a number")?);
                 i += 2;
             }
             "--serve-smoke" => {
@@ -190,6 +216,89 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
         h.events.len(),
         browser.graph().node_count(),
         browser.graph().edge_count()
+    );
+
+    // Sustained-ingest throughput: the same stream replayed through the
+    // batched capture pipeline against a group-commit WAL, in its own
+    // profile + registry so its telemetry stays separable. Events/sec is
+    // wall time from first submit to the flush ack (i.e. every event
+    // applied), the write path the paper's always-on capture relies on.
+    eprintln!("bench: measuring sustained ingest throughput...");
+    let tput_obs = Obs::isolated();
+    let tput_dir = TempProfile::new(&format!("bench-tput-{}", opts.days));
+    let tput_browser = ProvenanceBrowser::open_with_obs(
+        tput_dir.path(),
+        CaptureConfig::default(),
+        // A wide commit window so the sync amortizes across many drain
+        // batches: at full tilt a 256-event group lands every few ms, and
+        // a 5ms-style window would fsync at *every* group boundary —
+        // measuring the disk, not the write path. 50ms of bounded loss is
+        // the standard group-commit trade (cf. innodb_flush_log_at_timeout).
+        SyncPolicy::GroupCommit {
+            max_events: 4096,
+            max_delay: Duration::from_millis(50),
+        },
+        tput_obs.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let pipeline = CapturePipeline::start(tput_browser);
+    // Sustained means sustained: one warmup cycle absorbs thread
+    // startup and cold caches, then the stream replays time-shifted
+    // (the serve feeder's scheme) until ≥20k events have gone through;
+    // the clock runs from first measured submit to the flush ack.
+    let cycle_span = Duration::from_secs(u64::from(opts.days) + 1) * 86_400;
+    let shifted = |cycle: u32| {
+        h.events.iter().map(move |event| {
+            let mut event = event.clone();
+            event.at = event.at.plus(cycle_span * cycle);
+            event
+        })
+    };
+    if pipeline.submit_all(shifted(0)) != h.events.len() {
+        return Err("throughput warmup rejected events".to_owned());
+    }
+    pipeline.flush();
+    let cycles = (20_000 / h.events.len().max(1) + 1) as u32;
+    let expected = h.events.len() * cycles as usize;
+    let mut submitted = 0usize;
+    let t0 = clock.start();
+    for cycle in 1..=cycles {
+        submitted += pipeline.submit_all(shifted(cycle));
+    }
+    pipeline.flush();
+    let tput_wall = t0.elapsed();
+    if let Some(failure) = pipeline.failure() {
+        return Err(format!("throughput pipeline failed: {failure}"));
+    }
+    if submitted != expected {
+        return Err(format!(
+            "throughput pipeline accepted {submitted} of {expected} events"
+        ));
+    }
+    let ingest_events_per_sec = submitted as f64 / tput_wall.as_secs_f64().max(1e-9);
+    drop(pipeline.shutdown());
+    let tput_snap = tput_obs.registry().snapshot();
+    let counter = |name: &str| tput_snap.counters.get(name).copied().unwrap_or(0);
+    let hist = |name: &str| tput_snap.histograms.get(name);
+    let wal = WalStats {
+        appends: counter("wal.appends_total"),
+        bytes_written: counter("wal.bytes_written"),
+        groups: counter("wal.group_commit.groups"),
+        group_events: counter("wal.group_commit.events"),
+        batch_p50: hist("capture.batch_len").map_or(0, |h| h.p50()),
+        batch_p95: hist("capture.batch_len").map_or(0, |h| h.p95()),
+        sync_p95_us: hist("wal.group_commit.sync_us").map_or(0, |h| h.p95()),
+    };
+    eprintln!(
+        "bench: sustained ingest {:.0} events/sec ({} events in {:.3}s; \
+         {} wal groups, {:.1} events/group, batch p50={} p95={})",
+        ingest_events_per_sec,
+        submitted,
+        tput_wall.as_secs_f64(),
+        wal.groups,
+        wal.events_per_group(),
+        wal.batch_p50,
+        wal.batch_p95
     );
 
     // Workload inputs drawn from the simulator's topic vocabularies and
@@ -298,16 +407,19 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
         log_bytes: size.log_bytes,
     };
 
-    // The E1 headline: relational provenance bytes over the Places
-    // baseline for the same event stream (paper: 1.395).
+    // The E1 headline: bytes this repo actually ships (delta/column
+    // snapshot + residual WAL) over the Places baseline for the same
+    // event stream. The paper reports 1.395 for its relational schema;
+    // that rendering stays measured in EXPERIMENTS.md E1, but the gate
+    // tracks the store the write path really produces.
     let mut places = PlacesDb::new();
     let mut ingester = PlacesIngester::new();
     ingester
         .ingest_all(&mut places, &h.events)
         .map_err(|e| format!("{e:?}"))?;
     let places_bytes = places.encoded_size().max(1);
-    let rel_bytes = RelationalProvenance::from_graph(browser.graph()).encoded_size();
-    let e1_overhead_ratio = rel_bytes as f64 / places_bytes as f64;
+    let store_bytes = size.snapshot_bytes + size.log_bytes;
+    let e1_overhead_ratio = store_bytes as f64 / places_bytes as f64;
 
     let snapshot = obs.registry().snapshot();
     let latency = |name: &str| {
@@ -345,6 +457,8 @@ fn run_benchmark(opts: &Options) -> Result<BenchReport, String> {
         e1_overhead_ratio,
         frozen,
         ingest: latency("bench.ingest.latency_us"),
+        ingest_events_per_sec,
+        wal,
         queries,
         stage_medians_us,
     })
@@ -522,14 +636,44 @@ fn run(raw: &[String]) -> Result<bool, String> {
         f.cache_evictions,
         f.cache_bytes
     );
+    let mut ok = true;
+    // Absolute gates, independent of any baseline: the write-path
+    // throughput floor and the E1 storage-overhead ceiling.
+    if let Some(floor) = opts.ingest_floor {
+        if report.ingest_events_per_sec < floor {
+            ok = false;
+            eprintln!(
+                "bench: ingest-floor FAILED: {:.0} events/sec < floor {:.0}",
+                report.ingest_events_per_sec, floor
+            );
+        } else {
+            eprintln!(
+                "bench: ingest-floor clean ({:.0} events/sec >= {:.0})",
+                report.ingest_events_per_sec, floor
+            );
+        }
+    }
+    if let Some(max) = opts.e1_max {
+        if report.e1_overhead_ratio > max {
+            ok = false;
+            eprintln!(
+                "bench: e1-max FAILED: overhead ratio {:.4} > ceiling {:.2}",
+                report.e1_overhead_ratio, max
+            );
+        } else {
+            eprintln!(
+                "bench: e1-max clean (overhead ratio {:.4} <= {:.2})",
+                report.e1_overhead_ratio, max
+            );
+        }
+    }
     let Some(baseline_path) = &opts.compare_with else {
-        return Ok(true);
+        return Ok(ok);
     };
     let baseline_text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let baseline = BenchReport::from_json(&baseline_text)
         .map_err(|e| format!("baseline {baseline_path}: {e}"))?;
-    let mut ok = true;
     let regressions = compare(&baseline, &report, opts.threshold_pct, opts.floor_us);
     if regressions.is_empty() {
         eprintln!(

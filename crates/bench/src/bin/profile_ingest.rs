@@ -50,6 +50,176 @@ fn main() {
     component_timing(days);
     find_nonmonotone(days);
     edge_mix(days);
+    store_op_costs();
+    durable_baseline();
+}
+
+/// Per-event ingest under `SyncPolicy::Always` — the durability class
+/// group commit replaces (one fsync per event). Small sample; fsync
+/// dominates so a few hundred events give a stable per-event cost.
+fn durable_baseline() {
+    let history = fixtures::history(2);
+    let sample = &history.events[..history.events.len().min(200)];
+    let profile = fixtures::TempProfile::new("profile-durable");
+    let store = ProvenanceStore::open(profile.path(), SyncPolicy::Always).unwrap();
+    let mut engine = CaptureEngine::new(store, CaptureConfig::default());
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    for event in sample {
+        engine.handle(event).unwrap();
+    }
+    let wall = t0.elapsed();
+    println!(
+        "durable (Always) x{}: {:?} ({:?}/event, {:.0} events/sec)",
+        sample.len(),
+        wall,
+        wall / u32::try_from(sample.len()).unwrap(),
+        sample.len() as f64 / wall.as_secs_f64()
+    );
+}
+
+/// Microbenchmark of the individual store mutations the capture engine
+/// issues per event, to see where the per-event microseconds go.
+fn store_op_costs() {
+    use bp_graph::{EdgeKind, NodeKind, Timestamp};
+    let profile = fixtures::TempProfile::new("profile-ops");
+    let mut store = ProvenanceStore::open(profile.path(), SyncPolicy::OsManaged).unwrap();
+    const N: usize = 10_000;
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    let mut visits = Vec::with_capacity(N);
+    for i in 0..N {
+        visits.push(
+            store
+                .add_visit(
+                    &format!("http://host{}/page/{i}", i % 97),
+                    Timestamp::from_secs(i as i64),
+                )
+                .unwrap(),
+        );
+    }
+    println!(
+        "add_visit x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    for i in 1..N {
+        store
+            .add_edge(
+                visits[i],
+                visits[i - 1],
+                EdgeKind::Link,
+                Timestamp::from_secs(i as i64),
+            )
+            .unwrap();
+    }
+    println!(
+        "add_edge x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    for (i, &v) in visits.iter().enumerate() {
+        store.set_node_attr(v, "title", "A Title").unwrap();
+        let _ = i;
+    }
+    println!(
+        "set_node_attr x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    for (i, &v) in visits.iter().enumerate() {
+        store
+            .close_node(v, Timestamp::from_secs((N + i) as i64))
+            .unwrap();
+    }
+    println!(
+        "close_node x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    let mut hits = 0usize;
+    for i in 0..N {
+        if store
+            .graph()
+            .latest_version_of(
+                NodeKind::PageVisit,
+                &format!("http://host{}/page/{i}", i % 97),
+            )
+            .is_some()
+        {
+            hits += 1;
+        }
+    }
+    println!(
+        "latest_version_of x{N}: {:?} ({:?}/op, {hits} hits)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+
+    // Decompose add_node: interner, graph insert, key/time indexes.
+    let urls: Vec<String> = (0..N)
+        .map(|i| format!("http://host{}/fresh/{i}", i % 97))
+        .collect();
+    let interner = bp_storage::ShardedInterner::new();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    for u in &urls {
+        interner.intern(u);
+    }
+    println!(
+        "intern fresh x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    let mut total = 0usize;
+    for i in 0..N as u32 {
+        total += interner.resolve(i).map_or(0, |s| s.len());
+    }
+    println!(
+        "resolve x{N}: {:?} ({:?}/op, {total} bytes)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let mut g = bp_graph::ProvenanceGraph::new();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    let mut ids = Vec::with_capacity(N);
+    for (i, u) in urls.iter().enumerate() {
+        ids.push(g.add_node(bp_graph::Node::new(
+            NodeKind::PageVisit,
+            u,
+            Timestamp::from_secs(i as i64),
+        )));
+    }
+    println!(
+        "graph add_node x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let mut keys = bp_storage::KeyIndex::new();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    for (u, &id) in urls.iter().zip(&ids) {
+        keys.insert(u, id);
+    }
+    println!(
+        "key index insert x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
+    let mut times = bp_storage::TimeIndex::new();
+    let t0 = bp_obs::clock::ClockHandle::real().start();
+    for (i, &id) in ids.iter().enumerate() {
+        times.insert(
+            id,
+            bp_graph::TimeInterval::open_at(Timestamp::from_secs(i as i64)),
+        );
+    }
+    println!(
+        "time index insert x{N}: {:?} ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / N as u32
+    );
 }
 
 #[allow(dead_code)]

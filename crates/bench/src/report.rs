@@ -16,9 +16,11 @@ use std::fmt::Write as _;
 /// Version of the `BENCH_*.json` schema. Bump on any field change.
 ///
 /// v2 added the `frozen` section (CSR snapshot builds, parallel jobs,
-/// score-cache hit/miss/evict/bytes); v1 documents parse with a default
-/// (empty) section so old baselines stay comparable.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// score-cache hit/miss/evict/bytes); v3 added `ingest.events_per_sec`
+/// and the `wal` section (group-commit append/sync telemetry from the
+/// sustained-ingest phase). Older documents parse with default (empty)
+/// sections so old baselines stay comparable.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version `from_json` still accepts.
 pub const BENCH_SCHEMA_MIN_VERSION: u64 = 1;
@@ -79,6 +81,65 @@ impl FrozenStats {
             cache_misses: v.get("cache_misses")?.as_u64()?,
             cache_evictions: v.get("cache_evictions")?.as_u64()?,
             cache_bytes: v.get("cache_bytes")?.as_u64()?,
+        })
+    }
+}
+
+/// Write-ahead-log group-commit telemetry from the sustained-ingest
+/// phase (schema v3): how the batched capture drain amortized WAL
+/// appends and fsyncs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Frames appended to the log.
+    pub appends: u64,
+    /// Bytes written to the log (frame headers included).
+    pub bytes_written: u64,
+    /// Frame groups committed under one sync.
+    pub groups: u64,
+    /// Events carried by those groups.
+    pub group_events: u64,
+    /// Median capture drain batch size.
+    pub batch_p50: u64,
+    /// 95th-percentile capture drain batch size.
+    pub batch_p95: u64,
+    /// 95th-percentile group sync wall time, microseconds.
+    pub sync_p95_us: u64,
+}
+
+impl WalStats {
+    /// Mean events per committed group; 0 when no groups committed.
+    pub fn events_per_group(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.group_events as f64 / self.groups as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"appends\": {}, \"batch_p50\": {}, \"batch_p95\": {}, \
+             \"bytes_written\": {}, \"group_events\": {}, \"groups\": {}, \
+             \"sync_p95_us\": {}}}",
+            self.appends,
+            self.batch_p50,
+            self.batch_p95,
+            self.bytes_written,
+            self.group_events,
+            self.groups,
+            self.sync_p95_us
+        )
+    }
+
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(WalStats {
+            appends: v.get("appends")?.as_u64()?,
+            bytes_written: v.get("bytes_written")?.as_u64()?,
+            groups: v.get("groups")?.as_u64()?,
+            group_events: v.get("group_events")?.as_u64()?,
+            batch_p50: v.get("batch_p50")?.as_u64()?,
+            batch_p95: v.get("batch_p95")?.as_u64()?,
+            sync_p95_us: v.get("sync_p95_us")?.as_u64()?,
         })
     }
 }
@@ -167,6 +228,13 @@ pub struct BenchReport {
     pub frozen: FrozenStats,
     /// Per-event ingest latency.
     pub ingest: LatencySummary,
+    /// Sustained-ingest throughput through the batched capture pipeline
+    /// (schema v3; rendered as `ingest.events_per_sec`, 0 when parsing
+    /// an older document).
+    pub ingest_events_per_sec: f64,
+    /// WAL group-commit telemetry from the sustained-ingest phase
+    /// (schema v3; defaults to zeros when parsing an older document).
+    pub wal: WalStats,
     /// Per-query-path latency, keyed by path name (all seven paths).
     pub queries: BTreeMap<String, LatencySummary>,
     /// Median wall time per EXPLAIN stage, keyed `path.stage`.
@@ -186,7 +254,20 @@ impl BenchReport {
         );
         let _ = writeln!(out, "  \"frozen\": {},", self.frozen.to_json());
         let _ = writeln!(out, "  \"git_sha\": \"{}\",", self.git_sha);
-        let _ = writeln!(out, "  \"ingest\": {},", self.ingest.to_json());
+        // The ingest object carries the per-event latency summary plus
+        // the sustained-throughput headline, keys still sorted.
+        let _ = writeln!(
+            out,
+            "  \"ingest\": {{\"count\": {}, \"events_per_sec\": {:.1}, \"max_us\": {}, \
+             \"mean_us\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}},",
+            self.ingest.count,
+            self.ingest_events_per_sec,
+            self.ingest.max_us,
+            self.ingest.mean_us,
+            self.ingest.p50_us,
+            self.ingest.p95_us,
+            self.ingest.p99_us
+        );
         let _ = write!(out, "  \"queries\": {{");
         for (i, (name, q)) in self.queries.iter().enumerate() {
             if i > 0 {
@@ -213,7 +294,9 @@ impl BenchReport {
             }
             let _ = write!(out, "\n    \"{name}\": {us}");
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n");
+        let _ = writeln!(out, "  \"wal\": {}", self.wal.to_json());
+        out.push_str("}\n");
         out
     }
 
@@ -241,6 +324,19 @@ impl BenchReport {
             Some(f) => FrozenStats::from_json(f).ok_or("malformed frozen")?,
             None if version < 2 => FrozenStats::default(),
             None => return Err("missing frozen".to_owned()),
+        };
+        // v1/v2 predate the wal section and throughput headline; same
+        // default treatment.
+        let wal = match v.get("wal") {
+            Some(w) => WalStats::from_json(w).ok_or("malformed wal")?,
+            None if version < 3 => WalStats::default(),
+            None => return Err("missing wal".to_owned()),
+        };
+        let ingest_obj = v.get("ingest").ok_or("missing ingest")?;
+        let ingest_events_per_sec = match ingest_obj.get("events_per_sec") {
+            Some(eps) => eps.as_f64().ok_or("malformed ingest.events_per_sec")?,
+            None if version < 3 => 0.0,
+            None => return Err("missing ingest.events_per_sec".to_owned()),
         };
         let u = |key: &str| -> Result<u64, String> {
             v.get(key)
@@ -296,8 +392,9 @@ impl BenchReport {
                 .and_then(Value::as_f64)
                 .ok_or("missing e1_overhead_ratio")?,
             frozen,
-            ingest: LatencySummary::from_json(v.get("ingest").ok_or("missing ingest")?)
-                .ok_or("malformed ingest")?,
+            ingest: LatencySummary::from_json(ingest_obj).ok_or("malformed ingest")?,
+            ingest_events_per_sec,
+            wal,
             queries,
             stage_medians_us,
         })
@@ -441,6 +538,16 @@ mod tests {
                 cache_bytes: 65_536,
             },
             ingest: latency.clone(),
+            ingest_events_per_sec: 281_250.5,
+            wal: WalStats {
+                appends: 4000,
+                bytes_written: 512_000,
+                groups: 20,
+                group_events: 4000,
+                batch_p50: 180,
+                batch_p95: 256,
+                sync_p95_us: 900,
+            },
             queries,
             stage_medians_us,
         }
@@ -453,10 +560,14 @@ mod tests {
         let parsed = BenchReport::from_json(&text).expect("parses");
         assert_eq!(parsed, report);
         // schema_version leads the document.
-        assert!(text.trim_start().starts_with("{\n  \"schema_version\": 2"));
+        assert!(text.trim_start().starts_with("{\n  \"schema_version\": 3"));
         // The frozen section renders its derived hit rate.
         assert!(text.contains("\"cache_hit_rate\": 0.8750"), "{text}");
         assert!((parsed.frozen.hit_rate() - 0.875).abs() < 1e-9);
+        // The throughput headline rides inside the ingest object and the
+        // wal section survives the trip.
+        assert!(text.contains("\"events_per_sec\": 281250.5"), "{text}");
+        assert!((parsed.wal.events_per_group() - 200.0).abs() < 1e-9);
         // All seven query paths carry percentiles.
         for path in [
             "context",
@@ -477,31 +588,76 @@ mod tests {
     fn unknown_schema_version_is_rejected() {
         let text = sample_report()
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         assert!(BenchReport::from_json(&text)
             .unwrap_err()
             .contains("schema_version 999"));
     }
 
+    /// Strips every v3-only addition from a rendered document.
+    fn strip_v3(report: &BenchReport, text: &str) -> String {
+        let wal_line = format!("  \"wal\": {}\n", report.wal.to_json());
+        text.replace(&wal_line, "")
+            .replace("  },\n}\n", "  }\n}\n")
+            .replace(
+                &format!("\"events_per_sec\": {:.1}, ", report.ingest_events_per_sec),
+                "",
+            )
+    }
+
     #[test]
     fn v1_documents_parse_with_a_default_frozen_section() {
-        // A pre-frozen baseline: drop the section, mark it v1.
+        // A pre-frozen baseline: drop the v2 and v3 sections, mark it v1.
         let mut expected = sample_report();
         let frozen_line = format!("  \"frozen\": {},\n", expected.frozen.to_json());
-        let text = expected
-            .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+        let text = strip_v3(&expected, &expected.to_json())
+            .replace("\"schema_version\": 3", "\"schema_version\": 1")
             .replace(&frozen_line, "");
         assert!(!text.contains("frozen"), "{text}");
         let parsed = BenchReport::from_json(&text).expect("v1 parses");
         expected.frozen = FrozenStats::default();
+        expected.wal = WalStats::default();
+        expected.ingest_events_per_sec = 0.0;
         assert_eq!(parsed, expected);
         assert_eq!(parsed.frozen.hit_rate(), 0.0);
-        // A v2 document without the section is malformed, not legacy.
-        let v2_missing = sample_report().to_json().replace(&frozen_line, "");
+        // A v3 document without the frozen section is malformed, not
+        // legacy.
+        let v3_missing = sample_report().to_json().replace(&frozen_line, "");
         assert_eq!(
-            BenchReport::from_json(&v2_missing).unwrap_err(),
+            BenchReport::from_json(&v3_missing).unwrap_err(),
             "missing frozen"
+        );
+    }
+
+    #[test]
+    fn v2_documents_parse_with_a_default_wal_section() {
+        // A pre-write-path baseline: no wal section, no throughput
+        // headline, marked v2 — still usable as a `--compare` input.
+        let mut expected = sample_report();
+        let text = strip_v3(&expected, &expected.to_json())
+            .replace("\"schema_version\": 3", "\"schema_version\": 2");
+        assert!(!text.contains("\"wal\""), "{text}");
+        assert!(!text.contains("events_per_sec"), "{text}");
+        let parsed = BenchReport::from_json(&text).expect("v2 parses");
+        expected.wal = WalStats::default();
+        expected.ingest_events_per_sec = 0.0;
+        assert_eq!(parsed, expected);
+        assert_eq!(parsed.wal.events_per_group(), 0.0);
+        // A v3 document missing the new pieces is malformed, not legacy.
+        let report = sample_report();
+        let v3_text = report.to_json();
+        let wal_line = format!("  \"wal\": {}\n", report.wal.to_json());
+        let no_wal = v3_text
+            .replace(&wal_line, "")
+            .replace("  },\n}\n", "  }\n}\n");
+        assert_eq!(BenchReport::from_json(&no_wal).unwrap_err(), "missing wal");
+        let no_eps = v3_text.replace(
+            &format!("\"events_per_sec\": {:.1}, ", report.ingest_events_per_sec),
+            "",
+        );
+        assert_eq!(
+            BenchReport::from_json(&no_eps).unwrap_err(),
+            "missing ingest.events_per_sec"
         );
     }
 

@@ -61,6 +61,10 @@ const DEBUG_SAMPLE_EVERY: u64 = 16;
 /// `/readyz` fails once the capture queue backs up this far.
 const READY_MAX_QUEUE_DEPTH: i64 = 100_000;
 
+/// Events the feeder submits per burst — sized to fill (but not overrun)
+/// one capture drain batch.
+const FEEDER_CHUNK: usize = 64;
+
 /// Parsed `serve` options.
 struct ServeOptions {
     profile: PathBuf,
@@ -246,10 +250,18 @@ fn handle(state: &ServeState, request: &httpx::Request) -> httpx::Response {
                 }
             }
         }
-        "/profilez" => httpx::Response::text(
-            200,
-            ServeState::render_ring(&state.profiles, "# no profiles collected yet"),
-        ),
+        "/profilez" => {
+            // Merge capture-batch profiles (collected on the capture
+            // thread during sampled windows) into the ring, so ingest
+            // flushes render next to query EXPLAIN tables.
+            for p in state.pipeline.take_profiles() {
+                ServeState::push_ring(&state.profiles, p.render_table());
+            }
+            httpx::Response::text(
+                200,
+                ServeState::render_ring(&state.profiles, "# no profiles collected yet"),
+            )
+        }
         "/debug/flightz" => httpx::Response::text(200, flight::global().render()),
         "/debug/panicz" if state.allow_debug_panic => {
             // A deliberate worker crash: proves the panic hook leaves a
@@ -291,13 +303,19 @@ fn feeder_loop(state: &ServeState, days: u32, seed: u64) {
                 ("events", events.len().to_string()),
             ],
         );
-        for (i, event) in events.iter().enumerate() {
+        // Submit in chunks: one queue-depth update and one channel burst
+        // per chunk feeds the capture thread's batched drain (it applies
+        // a whole chunk under one write lock and one WAL frame group).
+        for chunk in events.chunks(FEEDER_CHUNK) {
             if state.stopping() {
                 return;
             }
-            let mut event = event.clone();
-            event.at = event.at.plus(cycle_span * cycle as u32);
-            if !state.pipeline.submit(event) {
+            let shifted = chunk.iter().map(|event| {
+                let mut event = event.clone();
+                event.at = event.at.plus(cycle_span * cycle as u32);
+                event
+            });
+            if state.pipeline.submit_all(shifted) < chunk.len() {
                 log::error(
                     "bp_cli::serve",
                     "capture pipeline gone; feeder exiting",
@@ -307,9 +325,7 @@ fn feeder_loop(state: &ServeState, days: u32, seed: u64) {
             }
             // Pace the replay so capture interleaves with queries rather
             // than arriving as one burst, and so the queue stays bounded.
-            if i % 64 == 63 {
-                std::thread::sleep(Duration::from_millis(1));
-            }
+            std::thread::sleep(Duration::from_millis(1));
         }
         state.pipeline.flush();
         state.ready.store(true, Ordering::SeqCst);

@@ -15,6 +15,9 @@ use bp_storage::{ProvenanceStore, SizeReport, SyncPolicy};
 use bp_text::InvertedIndex;
 use std::path::Path;
 
+/// Events per write group when bulk-ingesting a stream.
+const INGEST_GROUP_MAX: usize = 256;
+
 /// A provenance-aware browser backend.
 ///
 /// # Examples
@@ -114,9 +117,34 @@ impl ProvenanceBrowser {
         let outcome = self.engine.handle(event)?;
         if let Some(id) = outcome.primary {
             self.index_node(id);
-            self.publish_index_gauges();
+            // Inside a write group the gauges are published once at the
+            // group boundary instead of per event.
+            if !self.engine.store().group_active() {
+                self.publish_index_gauges();
+            }
         }
         Ok(outcome)
+    }
+
+    /// Starts a write group: WAL frames from subsequent ingests accumulate
+    /// and reach disk as one grouped append (and one policy-driven sync) at
+    /// [`end_write_group`](Self::end_write_group). Per-event gauge
+    /// publication is deferred to the group boundary too. The batched
+    /// capture drain wraps each queue batch in a group.
+    pub fn begin_write_group(&mut self) {
+        self.engine.store_mut().begin_write_group();
+    }
+
+    /// Commits the open write group to the log and publishes the deferred
+    /// gauges. A no-op when no group is open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the grouped WAL append failure.
+    pub fn end_write_group(&mut self) -> CoreResult<()> {
+        self.engine.store_mut().commit_write_group()?;
+        self.publish_index_gauges();
+        Ok(())
     }
 
     /// Publishes the text-index size gauges (three atomic stores).
@@ -140,11 +168,24 @@ impl ProvenanceBrowser {
         // One trace context per batch (reused when the caller already has
         // one): every log line the batch emits shares one trace ID.
         let _ctx = bp_obs::trace::ensure(&bp_obs::ClockHandle::real());
+        self.begin_write_group();
         let mut n = 0;
         for event in events {
-            self.ingest(event)?;
+            if let Err(err) = self.ingest(event) {
+                // Keep the events already applied durable before surfacing
+                // the failure.
+                let _ = self.end_write_group();
+                return Err(err);
+            }
             n += 1;
+            // Bound the in-memory group (and the crash-loss window) on
+            // long streams by committing every INGEST_GROUP_MAX events.
+            if n % INGEST_GROUP_MAX == 0 {
+                self.end_write_group()?;
+                self.begin_write_group();
+            }
         }
+        self.end_write_group()?;
         Ok(n)
     }
 

@@ -369,7 +369,12 @@ impl CaptureEngine {
             Some(match self.pages.get(url) {
                 Some(&p) => p,
                 None => {
-                    let p = self.store.add_node(NodeKind::Page, url, at, &[])?;
+                    // Known title at creation goes straight into the
+                    // AddNode record, saving a SetNodeAttr frame.
+                    let attrs = title.map(|t| ("title", AttrValue::from(t)));
+                    let p = self
+                        .store
+                        .add_node(NodeKind::Page, url, at, attrs.as_slice())?;
                     self.pages.insert(url.to_owned(), p);
                     p
                 }
@@ -402,19 +407,30 @@ impl CaptureEngine {
             _ => None,
         };
 
-        // The visit instance (auto-versioned, §3.1).
-        let visit = self.store.add_visit(url, at)?;
-        if let Some(t) = title {
-            self.store.set_node_attr(visit, "title", t)?;
-        }
+        // The visit instance (auto-versioned, §3.1). The title rides in
+        // the AddNode record itself — one log frame instead of two.
+        let visit = match title {
+            Some(t) => {
+                self.store
+                    .add_visit_with_attrs(url, at, &[("title", AttrValue::from(t))])?
+            }
+            None => self.store.add_visit(url, at)?,
+        };
 
-        // Logical page object + instance_of edge.
+        // Logical page object + instance_of edge. The page title is only
+        // rewritten when it actually changed: revisits are the common case
+        // and a same-title SetNodeAttr per revisit is pure log traffic.
         if let Some(page) = page {
             if let Some(t) = title {
-                self.store.set_node_attr(page, "title", t)?;
+                let stale = self
+                    .store
+                    .graph()
+                    .node(page)
+                    .is_ok_and(|n| n.attrs().get_str("title") != Some(t));
+                if stale {
+                    self.store.set_node_attr(page, "title", t)?;
+                }
             }
-            self.store
-                .set_node_attr(page, "visit_count", i64::from(self.visit_count(url)))?;
             self.store.add_edge(visit, page, EdgeKind::InstanceOf, at)?;
             edges += 1;
         }

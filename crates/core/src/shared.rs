@@ -13,11 +13,33 @@
 use crate::browser::ProvenanceBrowser;
 use crate::error::CoreError;
 use crate::event::BrowserEvent;
+use bp_obs::profile::{self, Profile, QueryPlan};
 use bp_obs::{Counter, Gauge};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest number of queued events drained into one write group (one lock
+/// acquisition, one grouped WAL append).
+const DRAIN_BATCH_MAX: usize = 256;
+
+/// Capture-batch profiles retained for `/profilez` before the oldest are
+/// dropped.
+const PROFILE_RING: usize = 32;
+
+/// Batches slower than this leave a flight-recorder note: they are the
+/// ingest tail spikes `--explain` and /profilez should attribute.
+const SLOW_BATCH: Duration = Duration::from_millis(2);
+
+/// The capture drain's profile shape: one stage covering the whole batch
+/// application (queue → store), named so `--explain` output and /profilez
+/// attribute ingest tail latency to `capture.flush`.
+static CAPTURE_PLAN: QueryPlan = QueryPlan {
+    query: "capture",
+    stages: &["capture.flush"],
+};
 
 /// A clonable, thread-safe handle to a provenance browser.
 ///
@@ -120,61 +142,149 @@ pub struct CapturePipeline {
     queue_depth: Arc<Gauge>,
     stalls: Arc<Counter>,
     flushes: Arc<Counter>,
+    /// Capture-batch profiles drained from the capture thread (profiles
+    /// are thread-local; the batch loop moves its own into this ring).
+    profiles: Arc<Mutex<Vec<Profile>>>,
 }
 
 impl CapturePipeline {
     /// Wraps `browser` and starts the capture thread.
+    ///
+    /// The thread drains the queue in batches: up to [`DRAIN_BATCH_MAX`]
+    /// queued events are applied under **one** write lock and one store
+    /// write group, so per-event mutex/WAL/metric costs amortize across
+    /// the batch while readers still interleave between batches.
     pub fn start(browser: ProvenanceBrowser) -> Self {
         let obs = browser.obs().clone();
         let queue_depth = obs.gauge("capture.queue_depth");
         let stalls = obs.counter("capture.backpressure_stalls");
         let flushes = obs.counter("capture.flushes");
+        let batch_len = obs.histogram("capture.batch_len");
         let shared = SharedBrowser::new(browser);
         let (sender, receiver): (Sender<Message>, Receiver<Message>) = channel::unbounded();
         let rejected = Arc::new(Mutex::new(0u64));
         let failed = Arc::new(Mutex::new(None));
+        let profiles = Arc::new(Mutex::new(Vec::new()));
         let thread_shared = shared.clone();
         let thread_rejected = Arc::clone(&rejected);
         let thread_failed = Arc::clone(&failed);
         let thread_depth = Arc::clone(&queue_depth);
+        let thread_profiles = Arc::clone(&profiles);
         let handle = std::thread::spawn(move || {
-            for message in receiver {
-                match message {
-                    Message::Event(event, context) => {
-                        // Re-enter the submitter's trace context for the
-                        // duration of the ingest: cross-thread propagation
-                        // across the queue hand-off.
-                        let _ctx = context.map(bp_obs::trace::enter);
-                        let result = thread_shared.with_mut(|b| b.ingest(&event));
-                        thread_depth.sub(1);
-                        match result {
-                            Ok(_) => {}
-                            Err(CoreError::BadEvent(reason)) => {
-                                *thread_rejected.lock() += 1;
-                                // With the submitter's context re-entered
-                                // above, this line carries the trace ID of
-                                // the request that enqueued the bad event.
-                                bp_obs::log::warn(
-                                    "bp_core::shared",
-                                    "capture pipeline rejected event",
-                                    &[("reason", reason)],
-                                );
-                            }
-                            Err(other) => {
-                                bp_obs::log::error(
-                                    "bp_core::shared",
-                                    "capture pipeline stopped on storage error",
-                                    &[("error", other.to_string())],
-                                );
-                                *thread_failed.lock() = Some(other.to_string());
-                                return;
+            let clock = bp_obs::ClockHandle::real();
+            loop {
+                // Block for the first message, then drain whatever else is
+                // already queued (stopping at control messages so flush
+                // acknowledgements still order after prior events).
+                let Ok(first) = receiver.recv() else { return };
+                let mut events = Vec::new();
+                let mut tail = None;
+                match first {
+                    Message::Event(event, context) => events.push((event, context)),
+                    other => tail = Some(other),
+                }
+                while tail.is_none() && events.len() < DRAIN_BATCH_MAX {
+                    match receiver.try_recv() {
+                        Some(Message::Event(event, context)) => events.push((event, context)),
+                        Some(other) => tail = Some(other),
+                        None => break,
+                    }
+                }
+                if !events.is_empty() {
+                    let batch = events.len();
+                    let sw = clock.start();
+                    let guard = profile::begin(&CAPTURE_PLAN, &clock, None);
+                    let ok = thread_shared.with_mut(|b| {
+                        let stage = profile::stage("capture.flush");
+                        let mut applied = 0usize;
+                        b.begin_write_group();
+                        for (event, context) in &events {
+                            // Re-enter the submitter's trace context for
+                            // this event's ingest: cross-thread propagation
+                            // across the queue hand-off.
+                            let _ctx = context.map(bp_obs::trace::enter);
+                            match b.ingest(event) {
+                                Ok(_) => applied += 1,
+                                Err(CoreError::BadEvent(reason)) => {
+                                    *thread_rejected.lock() += 1;
+                                    // With the submitter's context entered
+                                    // above, this line carries the trace ID
+                                    // of the request that enqueued the bad
+                                    // event.
+                                    bp_obs::log::warn(
+                                        "bp_core::shared",
+                                        "capture pipeline rejected event",
+                                        &[("reason", reason)],
+                                    );
+                                }
+                                Err(other) => {
+                                    // Keep the events already applied in
+                                    // this group durable before stopping.
+                                    let _ = b.end_write_group();
+                                    bp_obs::log::error(
+                                        "bp_core::shared",
+                                        "capture pipeline stopped on storage error",
+                                        &[("error", other.to_string())],
+                                    );
+                                    *thread_failed.lock() = Some(other.to_string());
+                                    return false;
+                                }
                             }
                         }
+                        stage.rows(batch, applied);
+                        if let Err(err) = b.end_write_group() {
+                            bp_obs::log::error(
+                                "bp_core::shared",
+                                "capture pipeline stopped on storage error",
+                                &[("error", err.to_string())],
+                            );
+                            *thread_failed.lock() = Some(err.to_string());
+                            return false;
+                        }
+                        true
+                    });
+                    let wall = sw.elapsed();
+                    guard.finish_with(wall);
+                    thread_depth.sub(batch as i64);
+                    batch_len.record(batch as u64);
+                    // Profiles are thread-local: move this thread's into
+                    // the shared ring for /profilez and --explain.
+                    let finished = profile::take();
+                    if !finished.is_empty() {
+                        let mut ring = thread_profiles.lock();
+                        for p in finished {
+                            if ring.len() >= PROFILE_RING {
+                                ring.remove(0);
+                            }
+                            ring.push(p);
+                        }
                     }
-                    Message::Flush(ack) => {
+                    if wall >= SLOW_BATCH {
+                        // The flight recorder is global: ingest tail
+                        // spikes stay visible next to the query traffic
+                        // that felt them.
+                        bp_obs::log::warn(
+                            "bp_core::shared",
+                            "slow capture batch",
+                            &[
+                                ("events", batch.to_string()),
+                                ("wall_us", wall.as_micros().to_string()),
+                            ],
+                        );
+                    }
+                    if !ok {
+                        return;
+                    }
+                }
+                match tail {
+                    Some(Message::Flush(ack)) => {
                         let _ = ack.send(());
                     }
-                    Message::Shutdown => return,
+                    Some(Message::Shutdown) => return,
+                    // Events never land in `tail` (the drain loop pushes
+                    // them into the batch); nothing to do when the queue
+                    // simply ran dry.
+                    Some(Message::Event(..)) | None => {}
                 }
             }
         });
@@ -187,6 +297,7 @@ impl CapturePipeline {
             queue_depth,
             stalls,
             flushes,
+            profiles,
         }
     }
 
@@ -206,6 +317,34 @@ impl CapturePipeline {
             self.queue_depth.sub(1);
         }
         sent
+    }
+
+    /// Enqueues a batch of events under the submitter's current trace
+    /// context, with one queue-depth update for the whole batch (the
+    /// per-event gauge write is measurable at feeder rates). Returns how
+    /// many events were accepted — fewer than the batch only when the
+    /// pipeline has stopped.
+    pub fn submit_all(&self, events: impl IntoIterator<Item = BrowserEvent>) -> usize {
+        let context = bp_obs::trace::current();
+        let events: Vec<BrowserEvent> = events.into_iter().collect();
+        let total = events.len();
+        self.queue_depth.add(total as i64);
+        let mut accepted = 0usize;
+        for event in events {
+            if self
+                .sender
+                .send(Message::Event(Box::new(event), context))
+                .is_ok()
+            {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        if accepted < total {
+            self.queue_depth.sub((total - accepted) as i64);
+        }
+        accepted
     }
 
     /// Blocks until every previously submitted event has been applied.
@@ -231,6 +370,16 @@ impl CapturePipeline {
     /// The storage failure that stopped the pipeline, if any.
     pub fn failure(&self) -> Option<String> {
         self.failed.lock().clone()
+    }
+
+    /// Drains the retained capture-batch profiles (oldest first).
+    ///
+    /// Each batch the capture thread applies produces one profile whose
+    /// `capture.flush` stage records queue→store rows; `/profilez` and
+    /// `--explain` surface these next to query profiles so ingest tail
+    /// spikes are attributable.
+    pub fn take_profiles(&self) -> Vec<Profile> {
+        std::mem::take(&mut *self.profiles.lock())
     }
 
     /// Stops the capture thread and returns the browser.
@@ -472,6 +621,90 @@ mod tests {
             matched >= 32,
             "all 32 rejections should surface in the flight recorder, saw {matched}"
         );
+        drop(pipeline.shutdown());
+    }
+
+    #[test]
+    fn batched_drain_amortizes_and_profiles_the_flush() {
+        bp_obs::profile::set_enabled(true);
+        let dir = TempDir::new("batch");
+        let obs = bp_obs::Obs::isolated();
+        let b = ProvenanceBrowser::open_with_obs(
+            &dir.0,
+            CaptureConfig::default(),
+            bp_storage::SyncPolicy::OsManaged,
+            obs.clone(),
+        )
+        .unwrap();
+        let pipeline = CapturePipeline::start(b);
+        // Park the capture thread behind a long write lock while the queue
+        // fills, so the whole burst drains as batches (not one-by-one).
+        let shared = pipeline.shared();
+        shared.with_mut(|b| {
+            b.ingest(&BrowserEvent::tab_opened(t(0), TabId(0), None))
+                .unwrap();
+            for i in 0..40 {
+                pipeline.submit(BrowserEvent::navigate(
+                    t(i + 1),
+                    TabId(0),
+                    format!("http://b{i}/"),
+                    None,
+                    NavigationCause::Link,
+                ));
+            }
+        });
+        pipeline.flush();
+        let batches = obs.histogram("capture.batch_len");
+        assert!(batches.count() >= 1, "batch_len histogram populated");
+        assert!(
+            batches.count() < 40,
+            "40 queued events must coalesce into fewer lock acquisitions, saw {}",
+            batches.count()
+        );
+        let profiles = pipeline.take_profiles();
+        assert!(!profiles.is_empty(), "capture batches leave profiles");
+        let total_in: u64 = profiles
+            .iter()
+            .flat_map(|p| p.stages.iter())
+            .filter(|s| s.name == "capture.flush")
+            .map(|s| s.rows_in)
+            .sum();
+        assert_eq!(total_in, 40, "every queued event flows through the stage");
+        assert!(profiles.iter().all(|p| p.query == "capture"));
+        // Drained means drained: a second take is empty.
+        assert!(pipeline.take_profiles().is_empty());
+        assert_eq!(obs.gauge("capture.queue_depth").get(), 0);
+        drop(shared);
+        let b = pipeline.shutdown();
+        assert_eq!(
+            b.graph()
+                .nodes_of_kind(bp_graph::NodeKind::PageVisit)
+                .count(),
+            40
+        );
+    }
+
+    #[test]
+    fn profile_ring_is_bounded() {
+        bp_obs::profile::set_enabled(true);
+        let dir = TempDir::new("ring");
+        let pipeline = CapturePipeline::start(browser(&dir));
+        pipeline.submit(BrowserEvent::tab_opened(t(0), TabId(0), None));
+        // Submit-then-flush one event at a time forces one batch (and one
+        // profile) per event; the ring must cap at PROFILE_RING.
+        for i in 0..(PROFILE_RING + 10) {
+            pipeline.submit(BrowserEvent::navigate(
+                t(i as i64 + 1),
+                TabId(0),
+                format!("http://r{i}/"),
+                None,
+                NavigationCause::Link,
+            ));
+            pipeline.flush();
+        }
+        let profiles = pipeline.take_profiles();
+        assert!(profiles.len() <= PROFILE_RING);
+        assert!(profiles.len() >= PROFILE_RING / 2, "ring retains recents");
         drop(pipeline.shutdown());
     }
 

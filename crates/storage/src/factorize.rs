@@ -50,6 +50,29 @@ impl FactorizedEdges {
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Reconstructs a value from persisted bytes (as produced by
+    /// [`as_bytes`](Self::as_bytes)) plus the edge count recorded alongside
+    /// them. The signature dictionary length is read back from the head of
+    /// the encoding; full validation happens in [`defactorize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Corrupt`] if the dictionary length prefix is
+    /// unreadable.
+    pub fn from_bytes(bytes: Vec<u8>, edge_count: usize) -> StorageResult<Self> {
+        let mut pos = 0usize;
+        let dict_len = varint::read_u64(&bytes, &mut pos)?;
+        let signature_count = usize::try_from(dict_len)
+            .ok()
+            .filter(|&n| n <= bytes.len())
+            .ok_or_else(|| StorageError::corrupt(0, "signature dict too large"))?;
+        Ok(FactorizedEdges {
+            bytes,
+            signature_count,
+            edge_count,
+        })
+    }
 }
 
 /// Factorizes the edge structure of `graph`.

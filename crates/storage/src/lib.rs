@@ -11,7 +11,9 @@
 //! - [`Wal`] — checksummed append-only log with torn-tail recovery;
 //! - [`Codec`]/[`Op`] — compact record format (varints, interned strings,
 //!   delta-encoded timestamps);
-//! - [`StringInterner`] — dictionary compression of repeated strings;
+//! - [`StringInterner`]/[`ShardedInterner`] — dictionary compression of
+//!   repeated strings (the sharded variant takes `&self` so capture no
+//!   longer serializes against queries);
 //! - [`factorize`] — Chapman-style structural factorization of repeated
 //!   edge patterns (ablation A2);
 //! - [`KeyIndex`]/[`TimeIndex`] — URL lookup and interval-overlap indexes
@@ -48,6 +50,7 @@ mod factorize;
 mod index;
 mod intern;
 mod record;
+mod snapshot;
 mod store;
 pub mod varint;
 mod wal;
@@ -56,10 +59,10 @@ pub use crc::crc32c;
 pub use error::{StorageError, StorageResult};
 pub use factorize::{defactorize, factorize, raw_structure_size, FactorizedEdges};
 pub use index::{KeyIndex, TimeIndex};
-pub use intern::StringInterner;
+pub use intern::{ShardedInterner, StringInterner};
 pub use record::{Codec, Op};
 pub use store::{ProvenanceStore, SizeReport};
-pub use wal::{SyncPolicy, Wal, WalContents};
+pub use wal::{GroupAppend, SyncPolicy, Wal, WalContents};
 
 #[cfg(test)]
 mod proptests {

@@ -252,7 +252,7 @@ fn read_byte(buf: &[u8], pos: &mut usize) -> StorageResult<u8> {
     Ok(b)
 }
 
-fn write_attrs(out: &mut Vec<u8>, attrs: &[(u32, AttrValue)]) {
+pub(crate) fn write_attrs(out: &mut Vec<u8>, attrs: &[(u32, AttrValue)]) {
     varint::write_u64(out, offset_u64(attrs.len()));
     for (key, value) in attrs {
         varint::write_u64(out, u64::from(*key));
@@ -260,7 +260,7 @@ fn write_attrs(out: &mut Vec<u8>, attrs: &[(u32, AttrValue)]) {
     }
 }
 
-fn read_attrs(buf: &[u8], pos: &mut usize) -> StorageResult<Vec<(u32, AttrValue)>> {
+pub(crate) fn read_attrs(buf: &[u8], pos: &mut usize) -> StorageResult<Vec<(u32, AttrValue)>> {
     // Guard against absurd counts from corrupt data before allocating.
     let count = usize_from_u64(varint::read_u64(buf, pos)?)
         .filter(|&c| c <= buf.len().saturating_sub(*pos))

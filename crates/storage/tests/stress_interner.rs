@@ -1,0 +1,185 @@
+//! Deterministic-interleaving stress tests for the sharded string
+//! interner: seeded schedules over a shared vocabulary, yield-injection
+//! at pseudorandom points, and exact invariants once every thread has
+//! joined — every distinct string gets exactly one id, ids are dense,
+//! and every id resolves back to its string, under any interleaving.
+//!
+//! The interner trades the plain variant's `&mut self` exclusivity for
+//! FNV-partitioned shards with per-shard locks (capture no longer
+//! serializes against queries); these tests pin the contract that the
+//! sharding must not break: intern is an atomic get-or-assign even when
+//! many threads race the same string across shard boundaries.
+
+use bp_storage::ShardedInterner;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A splitmix-style PRNG: deterministic per seed, no global state, so a
+/// failing schedule is reproducible from its seed alone.
+struct Schedule(u64);
+
+impl Schedule {
+    fn new(seed: u64) -> Self {
+        Schedule(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Yields at seed-determined points to perturb the interleaving.
+    fn maybe_yield(&mut self) {
+        if self.next().is_multiple_of(8) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The shared vocabulary: URL-shaped strings with deliberate hash
+/// diversity (every thread interns from the same pool, so the same
+/// string races across threads constantly).
+fn vocabulary(words: usize) -> Vec<String> {
+    (0..words)
+        .map(|i| format!("http://host{}/path/{i}", i % 13))
+        .collect()
+}
+
+#[test]
+fn racing_interns_assign_exactly_one_dense_id_per_string() {
+    for seed in [1u64, 7, 42] {
+        let interner = Arc::new(ShardedInterner::new());
+        let vocab = Arc::new(vocabulary(257));
+        let threads: Vec<_> = (0..8u64)
+            .map(|thread| {
+                let interner = Arc::clone(&interner);
+                let vocab = Arc::clone(&vocab);
+                std::thread::spawn(move || {
+                    let mut schedule = Schedule::new(seed * 1013 + thread);
+                    let mut observed: Vec<(usize, u32)> = Vec::new();
+                    for _ in 0..4_000 {
+                        let word = (schedule.next() as usize) % vocab.len();
+                        let id = interner.intern(&vocab[word]);
+                        observed.push((word, id));
+                        schedule.maybe_yield();
+                    }
+                    observed
+                })
+            })
+            .collect();
+        let observations: Vec<(usize, u32)> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        // One id per word, globally: no thread ever saw a second id for
+        // a word another thread (or itself) interned first.
+        let mut id_of_word: Vec<Option<u32>> = vec![None; vocab.len()];
+        for (word, id) in observations {
+            match id_of_word[word] {
+                None => id_of_word[word] = Some(id),
+                Some(prev) => assert_eq!(prev, id, "word {word} got two ids (seed {seed})"),
+            }
+        }
+        // Exact count: the schedules cover the whole vocabulary at this
+        // volume, so len() is the vocabulary size — and ids are dense.
+        let ids: HashSet<u32> = id_of_word.iter().filter_map(|&id| id).collect();
+        assert_eq!(
+            ids.len(),
+            vocab.len(),
+            "duplicate ids collapse (seed {seed})"
+        );
+        assert_eq!(
+            interner.len(),
+            vocab.len(),
+            "no phantom entries (seed {seed})"
+        );
+        let max = ids.iter().max().copied().unwrap();
+        assert_eq!(max as usize, vocab.len() - 1, "ids are dense (seed {seed})");
+        // Every id resolves back to exactly its string.
+        for (word, id) in id_of_word.iter().enumerate() {
+            let id = id.unwrap();
+            assert_eq!(interner.resolve(id).as_deref(), Some(vocab[word].as_str()));
+        }
+        // strings() lists the table in id order with no gaps.
+        let strings = interner.strings();
+        assert_eq!(strings.len(), vocab.len());
+        for (id, s) in strings.iter().enumerate() {
+            assert_eq!(interner.intern(s) as usize, id, "id-order listing");
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_shards_stay_exact() {
+    // 48 threads over 16 shards: several threads contend per shard lock;
+    // the get-or-assign must stay atomic and payload accounting exact.
+    let interner = Arc::new(ShardedInterner::new());
+    let vocab = Arc::new(vocabulary(64));
+    let threads: Vec<_> = (0..48u64)
+        .map(|thread| {
+            let interner = Arc::clone(&interner);
+            let vocab = Arc::clone(&vocab);
+            std::thread::spawn(move || {
+                let mut schedule = Schedule::new(0x5eed + thread);
+                for _ in 0..1_000 {
+                    let word = (schedule.next() as usize) % vocab.len();
+                    let id = interner.intern(&vocab[word]);
+                    assert!((id as usize) < vocab.len());
+                    schedule.maybe_yield();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(interner.len(), vocab.len());
+    let expected_payload: usize = vocab.iter().map(String::len).sum();
+    assert_eq!(interner.payload_bytes(), expected_payload, "payload exact");
+}
+
+#[test]
+fn concurrent_readers_see_a_consistent_table() {
+    // Writers intern fresh strings while readers repeatedly audit the
+    // prefix they can see: every visible id must resolve, and resolved
+    // strings must intern back to the same id (no torn publishes).
+    let interner = Arc::new(ShardedInterner::new());
+    let writers: Vec<_> = (0..4u64)
+        .map(|thread| {
+            let interner = Arc::clone(&interner);
+            std::thread::spawn(move || {
+                let mut schedule = Schedule::new(0xabcd + thread);
+                for i in 0..2_000u64 {
+                    interner.intern(&format!("t{thread}-{i}"));
+                    schedule.maybe_yield();
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4u64)
+        .map(|thread| {
+            let interner = Arc::clone(&interner);
+            std::thread::spawn(move || {
+                let mut schedule = Schedule::new(0xf00d + thread);
+                for _ in 0..2_000 {
+                    let len = interner.len();
+                    if len > 0 {
+                        let probe = u32::try_from(schedule.next() % len as u64).unwrap();
+                        let s = interner
+                            .resolve(probe)
+                            .expect("ids below len always resolve");
+                        assert_eq!(interner.intern(&s), probe, "intern(resolve(id)) == id");
+                    }
+                    schedule.maybe_yield();
+                }
+            })
+        })
+        .collect();
+    for t in writers.into_iter().chain(readers) {
+        t.join().unwrap();
+    }
+    assert_eq!(interner.len(), 4 * 2_000);
+}
